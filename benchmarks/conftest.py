@@ -1,0 +1,32 @@
+"""Shared benchmark fixtures.
+
+The benchmarks measure two things at once: wall-clock cost of the
+simulation (via pytest-benchmark, single-round — the interesting wall
+numbers are the simulator's, not the host's) and the *virtual-time*
+results that reproduce the paper's figures, which each bench prints and
+asserts on.
+"""
+
+import pytest
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark.
+
+    The simulations are deterministic in virtual time; repeating them
+    only burns wall clock, so every bench uses a single round.
+    """
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def print_table(title, headers, rows):
+    from repro.harness.report import format_table
+
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))

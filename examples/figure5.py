@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Reproduce Figure 5: end-to-end relative execution time under AvA.
+
+Runs all eleven Rodinia-style OpenCL workloads plus Inception-on-NCS
+natively and through the full generated AvA stack, and prints the
+relative-runtime bars the paper reports (≤16% overhead, 8% mean for
+OpenCL; ~1% for the NCS).
+
+Run:  python examples/figure5.py [scale]
+"""
+
+import sys
+
+from repro.harness import format_figure5, run_figure5
+
+
+def main():
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+    print(f"running Figure 5 at scale {scale} "
+          "(native + AvA for 12 workloads; ~1 minute)...\n")
+    rows = run_figure5(scale=scale)
+    print(format_figure5(rows))
+    failed = [row.name for row in rows if not row.verified]
+    if failed:
+        print(f"\nVERIFICATION FAILURES: {failed}")
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so
+PEP 517 editable installs (which require ``bdist_wheel``) fail.  This
+shim lets ``pip install -e . --no-build-isolation`` fall back to the
+setuptools develop path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

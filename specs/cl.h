@@ -1,0 +1,160 @@
+/* Mini OpenCL header — the 39-function subset AvA virtualizes.
+ *
+ * Parameter names and order match repro.opencl.api exactly; generated
+ * server stubs call that module positionally.  Two documented
+ * deviations from Khronos cl.h: clCreateProgramWithSource takes a
+ * single source string, and clCreateImage takes flattened format/desc
+ * scalars (the spec toolchain has no struct-by-value support).
+ */
+
+#define CL_SUCCESS 0
+#define CL_TRUE 1
+#define CL_FALSE 0
+
+#define CL_DEVICE_TYPE_DEFAULT 1
+#define CL_DEVICE_TYPE_CPU 2
+#define CL_DEVICE_TYPE_GPU 4
+#define CL_DEVICE_TYPE_ACCELERATOR 8
+
+#define CL_MEM_READ_WRITE 1
+#define CL_MEM_WRITE_ONLY 2
+#define CL_MEM_READ_ONLY 4
+#define CL_MEM_USE_HOST_PTR 8
+#define CL_MEM_ALLOC_HOST_PTR 16
+#define CL_MEM_COPY_HOST_PTR 32
+
+typedef int cl_int;
+typedef unsigned int cl_uint;
+typedef unsigned int cl_bool;
+typedef unsigned long cl_ulong;
+typedef unsigned long cl_mem_flags;
+typedef unsigned long cl_device_type;
+typedef unsigned long cl_command_queue_properties;
+typedef long cl_context_properties;
+
+typedef struct _cl_platform_id *cl_platform_id;
+typedef struct _cl_device_id *cl_device_id;
+typedef struct _cl_context *cl_context;
+typedef struct _cl_command_queue *cl_command_queue;
+typedef struct _cl_mem *cl_mem;
+typedef struct _cl_program *cl_program;
+typedef struct _cl_kernel *cl_kernel;
+typedef struct _cl_event *cl_event;
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id *platforms,
+                        cl_uint *num_platforms);
+cl_int clGetPlatformInfo(cl_platform_id platform, cl_uint param_name,
+                         size_t param_value_size, void *param_value,
+                         size_t *param_value_size_ret);
+cl_int clGetDeviceIDs(cl_platform_id platform, cl_device_type device_type,
+                      cl_uint num_entries, cl_device_id *devices,
+                      cl_uint *num_devices);
+cl_int clGetDeviceInfo(cl_device_id device, cl_uint param_name,
+                       size_t param_value_size, void *param_value,
+                       size_t *param_value_size_ret);
+
+cl_context clCreateContext(const cl_context_properties *properties,
+                           cl_uint num_devices, const cl_device_id *devices,
+                           void *pfn_notify, void *user_data,
+                           cl_int *errcode_ret);
+cl_int clRetainContext(cl_context context);
+cl_int clReleaseContext(cl_context context);
+cl_int clGetContextInfo(cl_context context, cl_uint param_name,
+                        size_t param_value_size, void *param_value,
+                        size_t *param_value_size_ret);
+
+cl_command_queue clCreateCommandQueue(cl_context context, cl_device_id device,
+                                      cl_command_queue_properties properties,
+                                      cl_int *errcode_ret);
+cl_int clRetainCommandQueue(cl_command_queue command_queue);
+cl_int clReleaseCommandQueue(cl_command_queue command_queue);
+cl_int clGetCommandQueueInfo(cl_command_queue command_queue,
+                             cl_uint param_name, size_t param_value_size,
+                             void *param_value,
+                             size_t *param_value_size_ret);
+
+cl_mem clCreateBuffer(cl_context context, cl_mem_flags flags, size_t size,
+                      const void *host_ptr, cl_int *errcode_ret);
+cl_mem clCreateImage(cl_context context, cl_mem_flags flags,
+                     cl_uint image_channel_order,
+                     cl_uint image_channel_data_type, size_t image_width,
+                     size_t image_height, const void *host_ptr,
+                     cl_int *errcode_ret);
+cl_int clRetainMemObject(cl_mem memobj);
+cl_int clReleaseMemObject(cl_mem memobj);
+cl_int clGetMemObjectInfo(cl_mem memobj, cl_uint param_name,
+                          size_t param_value_size, void *param_value,
+                          size_t *param_value_size_ret);
+
+cl_int clEnqueueReadBuffer(cl_command_queue command_queue, cl_mem buf,
+                           cl_bool blocking_read, size_t offset, size_t size,
+                           void *ptr, cl_uint num_events_in_wait_list,
+                           const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueWriteBuffer(cl_command_queue command_queue, cl_mem buf,
+                            cl_bool blocking_write, size_t offset,
+                            size_t size, const void *ptr,
+                            cl_uint num_events_in_wait_list,
+                            const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueCopyBuffer(cl_command_queue command_queue, cl_mem src,
+                           cl_mem dst, size_t src_offset, size_t dst_offset,
+                           size_t size, cl_uint num_events_in_wait_list,
+                           const cl_event *event_wait_list, cl_event *event);
+cl_int clEnqueueFillBuffer(cl_command_queue command_queue, cl_mem buf,
+                           const void *pattern, size_t pattern_size,
+                           size_t offset, size_t size,
+                           cl_uint num_events_in_wait_list,
+                           const cl_event *event_wait_list, cl_event *event);
+
+cl_program clCreateProgramWithSource(cl_context context, cl_uint count,
+                                     const char *strings,
+                                     const size_t *lengths,
+                                     cl_int *errcode_ret);
+cl_int clBuildProgram(cl_program program, cl_uint num_devices,
+                      const cl_device_id *device_list, const char *options,
+                      void *pfn_notify, void *user_data);
+cl_int clCompileProgram(cl_program program, cl_uint num_devices,
+                        const cl_device_id *device_list, const char *options,
+                        cl_uint num_input_headers,
+                        const cl_program *input_headers,
+                        void *header_include_names, void *pfn_notify,
+                        void *user_data);
+cl_int clRetainProgram(cl_program program);
+cl_int clReleaseProgram(cl_program program);
+cl_int clGetProgramInfo(cl_program program, cl_uint param_name,
+                        size_t param_value_size, void *param_value,
+                        size_t *param_value_size_ret);
+cl_int clGetProgramBuildInfo(cl_program program, cl_device_id device,
+                             cl_uint param_name, size_t param_value_size,
+                             void *param_value,
+                             size_t *param_value_size_ret);
+
+cl_kernel clCreateKernel(cl_program program, const char *kernel_name,
+                         cl_int *errcode_ret);
+cl_int clCreateKernelsInProgram(cl_program program, cl_uint num_kernels,
+                                cl_kernel *kernels,
+                                cl_uint *num_kernels_ret);
+cl_int clSetKernelArg(cl_kernel kernel, cl_uint arg_index, size_t arg_size,
+                      const void *arg_value);
+cl_int clRetainKernel(cl_kernel kernel);
+cl_int clReleaseKernel(cl_kernel kernel);
+cl_int clGetKernelInfo(cl_kernel kernel, cl_uint param_name,
+                       size_t param_value_size, void *param_value,
+                       size_t *param_value_size_ret);
+cl_int clGetKernelWorkGroupInfo(cl_kernel kernel, cl_device_id device,
+                                cl_uint param_name, size_t param_value_size,
+                                void *param_value,
+                                size_t *param_value_size_ret);
+
+cl_int clEnqueueNDRangeKernel(cl_command_queue command_queue,
+                              cl_kernel kernel, cl_uint work_dim,
+                              const size_t *global_work_offset,
+                              const size_t *global_work_size,
+                              const size_t *local_work_size,
+                              cl_uint num_events_in_wait_list,
+                              const cl_event *event_wait_list,
+                              cl_event *event);
+cl_int clEnqueueTask(cl_command_queue command_queue, cl_kernel kernel,
+                     cl_uint num_events_in_wait_list,
+                     const cl_event *event_wait_list, cl_event *event);
+cl_int clFlush(cl_command_queue command_queue);
+cl_int clFinish(cl_command_queue command_queue);

@@ -1,0 +1,60 @@
+/* Mini NCSDK v1 header — the MVNC API of the Intel Movidius NCS.
+ *
+ * Parameter names and order match repro.mvnc.api.  Documented
+ * deviations from the vendor header (see repro.mvnc.api docstring):
+ * mvncGetResult takes a caller-allocated buffer with an explicit
+ * capacity, user params are integer cookies, and option data values
+ * are scalars.
+ */
+
+#define MVNC_OK 0
+#define MVNC_BUSY -1
+#define MVNC_ERROR -2
+#define MVNC_OUT_OF_MEMORY -3
+#define MVNC_DEVICE_NOT_FOUND -4
+#define MVNC_INVALID_PARAMETERS -5
+#define MVNC_NO_DATA -8
+#define MVNC_GONE -9
+#define MVNC_UNSUPPORTED_GRAPH_FILE -10
+
+#define MVNC_GRAPH_OPTION_DONT_BLOCK 0
+#define MVNC_GRAPH_OPTION_TIME_TAKEN 1
+#define MVNC_GRAPH_OPTION_OUTPUT_SIZE 2
+#define MVNC_DEVICE_OPTION_THERMAL_STATS 100
+#define MVNC_GLOBAL_OPTION_LOG_LEVEL 200
+
+typedef int mvncStatus;
+typedef struct _mvncDevice *mvncDeviceHandle;
+typedef struct _mvncGraph *mvncGraphHandle;
+
+mvncStatus mvncGetDeviceName(int index, char *name, unsigned int name_size);
+mvncStatus mvncOpenDevice(const char *name, mvncDeviceHandle *device_handle);
+mvncStatus mvncCloseDevice(mvncDeviceHandle device_handle);
+
+mvncStatus mvncAllocateGraph(mvncDeviceHandle device_handle,
+                             mvncGraphHandle *graph_handle,
+                             const void *graph_file,
+                             unsigned int graph_file_length);
+mvncStatus mvncDeallocateGraph(mvncGraphHandle graph_handle);
+
+mvncStatus mvncLoadTensor(mvncGraphHandle graph_handle,
+                          const void *input_tensor,
+                          unsigned int input_tensor_length,
+                          unsigned long user_param);
+mvncStatus mvncGetResult(mvncGraphHandle graph_handle, void *output_tensor,
+                         unsigned int output_tensor_capacity,
+                         unsigned int *output_length,
+                         unsigned long *user_param);
+
+mvncStatus mvncSetGraphOption(mvncGraphHandle graph_handle, int option,
+                              long data, unsigned int data_length);
+mvncStatus mvncGetGraphOption(mvncGraphHandle graph_handle, int option,
+                              long *data, unsigned int *data_length);
+mvncStatus mvncSetDeviceOption(mvncDeviceHandle device_handle, int option,
+                               long data, unsigned int data_length);
+mvncStatus mvncGetDeviceOption(mvncDeviceHandle device_handle, int option,
+                               long *data, unsigned int *data_length);
+mvncStatus mvncSetGlobalOption(int option, long data,
+                               unsigned int data_length);
+mvncStatus mvncGetGlobalOption(int option, long *data,
+                               unsigned int *data_length);

@@ -1,0 +1,45 @@
+/* Mini QuickAssist data-compression header — the DC subset AvA
+ * virtualizes as one of the paper's §5 "other accelerator APIs".
+ *
+ * Parameter names and order match repro.qat.api.  Deviation from the
+ * vendor header: requests are synchronous (no callback machinery).
+ */
+
+#define CPA_STATUS_SUCCESS 0
+#define CPA_STATUS_FAIL -1
+#define CPA_STATUS_INVALID_PARAM -4
+#define CPA_STATUS_RESOURCE -5
+#define CPA_DC_OVERFLOW -11
+#define CPA_DC_BAD_DATA -12
+
+#define CPA_DC_DIR_COMPRESS 0
+#define CPA_DC_DIR_DECOMPRESS 1
+
+typedef int cpa_status;
+typedef unsigned int cpa_uint32;
+typedef unsigned long cpa_uint64;
+typedef struct _cpa_dc_instance *cpa_dc_instance;
+typedef struct _cpa_dc_session *cpa_dc_session;
+
+cpa_status cpaDcGetNumInstances(cpa_uint32 *num_instances);
+cpa_status cpaDcStartInstance(cpa_uint32 index, cpa_dc_instance *instance);
+cpa_status cpaDcStopInstance(cpa_dc_instance instance);
+
+cpa_status cpaDcInitSession(cpa_dc_instance instance,
+                            cpa_dc_session *session, cpa_uint32 level,
+                            cpa_uint32 direction);
+cpa_status cpaDcRemoveSession(cpa_dc_session session);
+
+cpa_status cpaDcCompressData(cpa_dc_session session, const void *src,
+                             cpa_uint32 src_size, void *dst,
+                             cpa_uint32 dst_capacity,
+                             cpa_uint32 *produced);
+cpa_status cpaDcDecompressData(cpa_dc_session session, const void *src,
+                               cpa_uint32 src_size, void *dst,
+                               cpa_uint32 dst_capacity,
+                               cpa_uint32 *produced);
+
+cpa_status cpaDcGetStats(cpa_dc_instance instance,
+                         cpa_uint64 *bytes_consumed,
+                         cpa_uint64 *bytes_produced,
+                         cpa_uint64 *num_requests);

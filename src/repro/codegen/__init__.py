@@ -1,0 +1,35 @@
+"""CAvA — the API stack generator.
+
+From a parsed :class:`~repro.spec.model.ApiSpec`, CAvA emits three
+Python modules (the counterparts of the paper's generated C artifacts):
+
+* ``<api>_guest.py`` — the guest library: one stub per API function with
+  the marshaling logic, size expressions, sync conditions and runtime
+  assertions inlined,
+* ``<api>_server.py`` — the API server dispatch: unmarshal, handle
+  translation, the native call, output collection,
+* ``<api>_routing.py`` — the hypervisor routing table: the only API
+  knowledge the router loads.
+
+:mod:`repro.codegen.generator` orchestrates generation and loading;
+:mod:`repro.codegen.cli` is the ``cava`` command-line workflow from the
+paper's Figure 2 (infer → refine → generate).
+"""
+
+from repro.codegen.classify import ParamClass, classify_param, classify_return
+from repro.codegen.generator import (
+    GeneratedStack,
+    generate_api,
+    generate_sources,
+    load_stack,
+)
+
+__all__ = [
+    "GeneratedStack",
+    "ParamClass",
+    "classify_param",
+    "classify_return",
+    "generate_api",
+    "generate_sources",
+    "load_stack",
+]

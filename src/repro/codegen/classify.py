@@ -1,0 +1,109 @@
+"""Parameter classification: the marshaling decision CAvA makes per slot.
+
+Every parameter of every function maps to exactly one wire strategy.
+Both generators (guest and server) consult the same classification, so
+the two sides of the protocol cannot drift apart.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.spec.expr import Literal
+from repro.spec.model import ApiSpec, CType, Direction, FunctionSpec, ParamSpec
+
+
+class ParamClass(enum.Enum):
+    SCALAR = "scalar"                     # plain number/bool, by value
+    STRING = "string"                     # str, in only
+    HANDLE = "handle"                     # opaque handle, by guest id
+    HANDLE_ARRAY_IN = "handle_array_in"   # const handle[] → list of ids
+    HANDLE_BOX_OUT = "handle_box_out"     # T *out, single freshly allocated
+    HANDLE_ARRAY_OUT = "handle_array_out" # T out[] filled by the host
+    BUFFER_IN = "buffer_in"               # data in, size from the spec
+    BUFFER_OUT = "buffer_out"             # data out, size from the spec
+    BUFFER_INOUT = "buffer_inout"
+    SCALAR_BOX_OUT = "scalar_box_out"     # T *out, single scalar
+    ANYVALUE = "anyvalue"                 # runtime-typed (clSetKernelArg)
+    SCALAR_ARRAY_IN = "scalar_array_in"   # small int array, by value
+    CALLBACK = "callback"                 # guest fn pointer, deferred upcalls
+    OPAQUE = "opaque"                     # un-marshalable; must be NULL
+
+
+_SCALARISH_BASES = {
+    "char", "int", "unsigned int", "unsigned", "long", "unsigned long",
+    "float", "double", "size_t", "short",
+}
+
+
+def _is_single_element(param: ParamSpec) -> bool:
+    return (
+        isinstance(param.buffer_size, Literal)
+        and param.buffer_size.value == 1
+        and param.buffer_is_elements
+    )
+
+
+def classify_param(spec: ApiSpec, param: ParamSpec) -> ParamClass:
+    """The wire strategy for one parameter."""
+    if param.is_anyvalue:
+        return ParamClass.ANYVALUE
+    if param.is_scalar_array:
+        return ParamClass.SCALAR_ARRAY_IN
+    if param.is_callback:
+        return ParamClass.CALLBACK
+    ctype = param.ctype
+    handle_types = spec.handle_types()
+    if not ctype.is_pointer:
+        if param.is_handle or ctype.base in handle_types:
+            return ParamClass.HANDLE
+        return ParamClass.SCALAR
+    if param.is_string:
+        return ParamClass.STRING
+
+    pointee_is_handle = ctype.base in handle_types
+    if pointee_is_handle:
+        if param.direction is Direction.IN:
+            return ParamClass.HANDLE_ARRAY_IN
+        if _is_single_element(param) or param.element_allocates:
+            return ParamClass.HANDLE_BOX_OUT
+        return ParamClass.HANDLE_ARRAY_OUT
+
+    if param.direction is Direction.IN:
+        if param.buffer_size is None:
+            return ParamClass.OPAQUE
+        return ParamClass.BUFFER_IN
+
+    # OUT / INOUT data
+    if _is_single_element(param) and (
+        ctype.base in _SCALARISH_BASES or ctype.base in spec.types
+    ):
+        return ParamClass.SCALAR_BOX_OUT
+    if param.buffer_size is None:
+        return ParamClass.OPAQUE
+    if param.direction is Direction.INOUT:
+        return ParamClass.BUFFER_INOUT
+    return ParamClass.BUFFER_OUT
+
+
+def classify_return(spec: ApiSpec, func: FunctionSpec) -> str:
+    """Return-value strategy: "scalar", "handle", or "none"."""
+    rtype: CType = func.return_type
+    if rtype.base == "void" and not rtype.is_pointer:
+        return "none"
+    if rtype.base in spec.handle_types() and not rtype.is_pointer:
+        return "handle"
+    return "scalar"
+
+
+def element_size(spec: ApiSpec, param: ParamSpec) -> int:
+    """Pointee element size for element-count buffers, resolved now."""
+    return param.element_size(spec.sizeof_table())
+
+
+def scalar_coercion(param: ParamSpec) -> str:
+    """Python coercion applied to a scalar argument ("int"/"float")."""
+    base = param.ctype.base
+    if base in ("float", "double") or "float" in base or "double" in base:
+        return "float"
+    return "int"

@@ -1,0 +1,153 @@
+"""The ``cava`` command line — the developer workflow of Figure 2.
+
+Subcommands::
+
+    cava infer <header.h> --api <name> [-o spec.cava]
+        Parse the unmodified C header and write a preliminary
+        specification with guidance comments for the developer.
+
+    cava check <spec.cava>
+        Parse and validate a (refined) specification; print problems
+        and remaining guidance.
+
+    cava generate <spec.cava> --native <module> -o <dir>
+        Generate, byte-compile and write the guest library, API-server
+        dispatch, and hypervisor routing modules.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.codegen.generator import write_api
+from repro.codegen.specwriter import render_spec
+from repro.spec import (
+    SpecError,
+    infer_preliminary_spec,
+    parse_header_file,
+    parse_spec_file,
+)
+
+
+def _cmd_infer(args: argparse.Namespace) -> int:
+    header = parse_header_file(args.header)
+    spec = infer_preliminary_spec(header, args.api)
+    text = render_spec(spec)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote preliminary spec to {args.output} "
+              f"({len(spec.functions)} functions, "
+              f"{len(spec.guidance)} guidance items)")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    spec = parse_spec_file(args.spec)
+    problems = spec.validate()
+    for line in spec.guidance:
+        print(f"guidance: {line}")
+    for line in problems:
+        print(f"error: {line}")
+    if problems:
+        return 1
+    print(
+        f"spec OK: API {spec.name!r}, {len(spec.functions)} functions, "
+        f"{len(spec.handle_types())} handle types"
+    )
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    spec = parse_spec_file(args.spec)
+    problems = spec.validate()
+    if problems:
+        for line in problems:
+            print(f"error: {line}", file=sys.stderr)
+        return 1
+    paths = write_api(spec, args.output, args.native)
+    for kind, path in sorted(paths.items()):
+        print(f"generated {kind}: {path}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from repro.codegen.verify import format_report, verify_spec
+
+    spec = parse_spec_file(args.spec)
+    report = verify_spec(spec)
+    print(format_report(report, verbose=args.verbose))
+    return 0 if report.ok else 1
+
+
+def _cmd_effort(args: argparse.Namespace) -> int:
+    from repro.harness.effort import effort_rows, measure_effort
+    from repro.harness.report import format_table
+    from repro.stack import NATIVE_MODULES, default_specs_dir
+
+    report = measure_effort(args.api, default_specs_dir(),
+                            NATIVE_MODULES[args.api])
+    print(format_table(
+        ["api", "functions", "annotated", "inferred", "spec LoC",
+         "generated LoC", "leverage"],
+        effort_rows([report]),
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="cava",
+        description="CAvA: generate API-remoting stacks from specifications",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    infer = sub.add_parser("infer", help="preliminary spec from a C header")
+    infer.add_argument("header")
+    infer.add_argument("--api", required=True, help="API name")
+    infer.add_argument("-o", "--output", help="output .cava path")
+    infer.set_defaults(func=_cmd_infer)
+
+    check = sub.add_parser("check", help="validate a specification")
+    check.add_argument("spec")
+    check.set_defaults(func=_cmd_check)
+
+    generate = sub.add_parser("generate", help="generate the API stack")
+    generate.add_argument("spec")
+    generate.add_argument("--native", required=True,
+                          help="import path of the native implementation")
+    generate.add_argument("-o", "--output", required=True,
+                          help="output directory")
+    generate.set_defaults(func=_cmd_generate)
+
+    verify = sub.add_parser(
+        "verify", help="check the spec's verifiable properties (§3)"
+    )
+    verify.add_argument("spec")
+    verify.add_argument("-v", "--verbose", action="store_true",
+                        help="list established properties per function")
+    verify.set_defaults(func=_cmd_verify)
+
+    effort = sub.add_parser(
+        "effort", help="developer-effort metrics for a shipped API (§5)"
+    )
+    effort.add_argument("api", choices=["opencl", "mvnc", "qat"])
+    effort.set_defaults(func=_cmd_effort)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except (SpecError, OSError) as err:
+        print(f"cava: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,199 @@
+"""Static verification of API specifications (§3's near-term story).
+
+The paper envisions CAvA generating "assertions and theorems which can
+be automatically checked to verify that the generated C code is free
+from specific classes of bugs".  This module is that checker for the
+classes the generated Python code can exhibit:
+
+* **async fidelity** — asynchronously forwarded functions must not have
+  required outputs (their results could never be returned),
+* **wire completeness** — every pointer parameter must map to a wire
+  strategy; OPAQUE parameters are listed so the developer sees what a
+  guest must pass as NULL,
+* **handle lifecycle** — every handle type consumed by some function
+  should be produced by some function (created, out-box, or returned),
+  and every `deallocates` annotation must sit on a handle,
+* **migration coverage** — `record(create)` functions must actually
+  produce handles; destroy-recorded functions must free one,
+* **expression soundness** — size/condition/resource expressions bind
+  only parameters and known constants (also enforced at generation).
+
+The result is a report of checked properties per function — the
+"theorems" — plus warnings for the properties that hold vacuously.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.codegen.classify import ParamClass, classify_param, classify_return
+from repro.spec.model import ApiSpec, Direction, RecordKind, SyncMode
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one spec."""
+
+    api: str
+    checks_passed: int = 0
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+    #: per-function list of properties that were established
+    properties: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    def _record(self, func_name: str, prop: str) -> None:
+        self.checks_passed += 1
+        self.properties.setdefault(func_name, []).append(prop)
+
+
+def _producers_and_consumers(spec: ApiSpec):
+    produced: Set[str] = set()
+    consumed: Set[str] = set()
+    for func in spec.functions.values():
+        if classify_return(spec, func) == "handle":
+            produced.add(func.return_type.base)
+        for param in func.params:
+            cls = classify_param(spec, param)
+            base = param.ctype.base
+            if cls in (ParamClass.HANDLE_BOX_OUT, ParamClass.HANDLE_ARRAY_OUT):
+                produced.add(base)
+            elif cls in (ParamClass.HANDLE, ParamClass.HANDLE_ARRAY_IN):
+                consumed.add(base)
+    return produced, consumed
+
+
+def verify_spec(spec: ApiSpec) -> VerificationReport:
+    """Check the verifiable properties of ``spec``."""
+    report = VerificationReport(api=spec.name)
+
+    # semantic validation first (expression binding, async outputs, ...)
+    for problem in spec.validate():
+        report.errors.append(problem)
+
+    produced, consumed = _producers_and_consumers(spec)
+    for orphan in sorted(consumed - produced):
+        report.warnings.append(
+            f"handle type {orphan!r} is consumed but never produced by "
+            "any function in this spec — guests cannot obtain one"
+        )
+
+    for name in sorted(spec.functions):
+        func = spec.functions[name]
+        if func.unsupported:
+            continue
+
+        policy = func.sync_policy
+        unconditionally_async = (
+            policy.condition is None and policy.default is SyncMode.ASYNC
+        )
+        conditionally_async = policy.condition is not None and (
+            policy.default is SyncMode.ASYNC
+            or policy.mode_if_true is SyncMode.ASYNC
+        )
+        if unconditionally_async:
+            if func.has_required_outputs:
+                report.errors.append(
+                    f"{name}: forwarded async but has required outputs"
+                )
+            else:
+                report._record(name, "async-forwarding preserves outputs")
+        elif conditionally_async:
+            if func.has_required_outputs:
+                # the blocking_read=false case: data is only defined at the
+                # next synchronization point — the runtime's eager output
+                # application satisfies that contract
+                report._record(
+                    name,
+                    "conditionally async; outputs defined by "
+                    "synchronization time",
+                )
+            else:
+                report._record(name, "conditionally async; no required outputs")
+        else:
+            report._record(name, "synchronous: outputs always returned")
+
+        opaque = [
+            p.name for p in func.params
+            if classify_param(spec, p) is ParamClass.OPAQUE
+        ]
+        if opaque:
+            report.warnings.append(
+                f"{name}: parameter(s) {opaque} are not marshalable; the "
+                "generated stub asserts they are NULL"
+            )
+            report._record(name, "non-marshalable parameters guarded")
+        else:
+            report._record(name, "every parameter has a wire strategy")
+
+        for param in func.params:
+            if param.element_deallocates:
+                cls = classify_param(spec, param)
+                if cls not in (ParamClass.HANDLE, ParamClass.HANDLE_ARRAY_IN):
+                    report.errors.append(
+                        f"{name}: parameter {param.name!r} deallocates but "
+                        "is not a handle"
+                    )
+                else:
+                    report._record(
+                        name, f"deallocation of {param.name!r} is handle-typed"
+                    )
+            if param.is_anyvalue and param.buffer_size is None:
+                report.warnings.append(
+                    f"{name}: anyvalue parameter {param.name!r} has no "
+                    "size expression; non-scalar values marshal their "
+                    "full length"
+                )
+
+        if func.record_kind is RecordKind.CREATE:
+            creates = classify_return(spec, func) == "handle" or any(
+                classify_param(spec, p) in (ParamClass.HANDLE_BOX_OUT,
+                                            ParamClass.HANDLE_ARRAY_OUT)
+                for p in func.params
+            )
+            if creates:
+                report._record(name, "record(create) produces handles")
+            else:
+                report.warnings.append(
+                    f"{name}: record(create) but no handle output — the "
+                    "migration log will replay it for side effects only"
+                )
+        if func.record_kind is RecordKind.DESTROY:
+            frees = any(p.element_deallocates for p in func.params)
+            if frees:
+                report._record(name, "record(destroy) frees a handle")
+            else:
+                report.warnings.append(
+                    f"{name}: record(destroy) but no deallocates parameter"
+                )
+
+        # the generated guest stub will contain one runtime assertion per
+        # size expression; count them as generated-assertion obligations
+        size_exprs = sum(1 for p in func.params if p.buffer_size is not None)
+        if size_exprs:
+            report._record(
+                name, f"{size_exprs} size assertion(s) generated"
+            )
+    return report
+
+
+def format_report(report: VerificationReport, verbose: bool = False) -> str:
+    lines = [
+        f"verified API {report.api!r}: {report.checks_passed} properties "
+        f"established, {len(report.errors)} errors, "
+        f"{len(report.warnings)} warnings"
+    ]
+    for error in report.errors:
+        lines.append(f"  ERROR: {error}")
+    for warning in report.warnings:
+        lines.append(f"  warning: {warning}")
+    if verbose:
+        for name in sorted(report.properties):
+            lines.append(f"  {name}:")
+            for prop in report.properties[name]:
+                lines.append(f"    ✓ {prop}")
+    return "\n".join(lines)

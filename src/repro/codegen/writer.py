@@ -1,0 +1,58 @@
+"""Tiny indentation-aware source writer used by the generators."""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class CodeWriter:
+    """Accumulates Python source with managed indentation."""
+
+    def __init__(self, indent_unit: str = "    ") -> None:
+        self._lines: List[str] = []
+        self._depth = 0
+        self._indent_unit = indent_unit
+
+    def line(self, text: str = "") -> "CodeWriter":
+        if text:
+            self._lines.append(self._indent_unit * self._depth + text)
+        else:
+            self._lines.append("")
+        return self
+
+    def lines(self, *texts: str) -> "CodeWriter":
+        for text in texts:
+            self.line(text)
+        return self
+
+    def indent(self) -> "CodeWriter":
+        self._depth += 1
+        return self
+
+    def dedent(self) -> "CodeWriter":
+        if self._depth == 0:
+            raise ValueError("cannot dedent below zero")
+        self._depth -= 1
+        return self
+
+    def block(self, header: str) -> "_Block":
+        """``with writer.block("if x:"):`` — auto indent/dedent."""
+        self.line(header)
+        return _Block(self)
+
+    def source(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+
+class _Block:
+    def __init__(self, writer: CodeWriter) -> None:
+        self.writer = writer
+
+    def __enter__(self) -> CodeWriter:
+        return self.writer.indent()
+
+    def __exit__(self, *exc) -> None:
+        self.writer.dedent()

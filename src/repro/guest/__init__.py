@@ -1,0 +1,12 @@
+"""Guest-side runtime: what CAvA-generated guest libraries link against.
+
+:mod:`repro.guest.library` provides the per-VM invocation runtime
+(marshal, submit through the hypervisor transport, apply reply outputs,
+sync/async semantics); :mod:`repro.guest.driver` is the thin "guest
+kernel module" that owns the channel to the hypervisor.
+"""
+
+from repro.guest.driver import GuestDriver
+from repro.guest.library import GuestRuntime, RemotingError
+
+__all__ = ["GuestDriver", "GuestRuntime", "RemotingError"]

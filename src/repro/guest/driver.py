@@ -1,0 +1,35 @@
+"""The guest "kernel module": channel setup and teardown.
+
+In the real system CAvA generates a small guest driver whose job is to
+own the para-virtual channel to the hypervisor.  Here that amounts to
+holding the transport endpoint and the VM identity that every command
+is stamped with, and handing sequence numbers out in order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional
+
+from repro.transport.base import Transport
+from repro.vclock import VirtualClock
+
+
+class GuestDriver:
+    """Channel owner for one guest VM."""
+
+    def __init__(self, vm_id: str, transport: Transport,
+                 clock: Optional[VirtualClock] = None) -> None:
+        self.vm_id = vm_id
+        self.transport = transport
+        self.clock = clock or VirtualClock(f"guest-{vm_id}")
+        self._seq = itertools.count(1)
+        self.closed = False
+
+    def next_seq(self) -> int:
+        if self.closed:
+            raise RuntimeError(f"guest driver for {self.vm_id!r} is closed")
+        return next(self._seq)
+
+    def close(self) -> None:
+        self.closed = True

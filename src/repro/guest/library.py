@@ -1,0 +1,251 @@
+"""The guest invocation runtime behind every generated stub.
+
+Generated guest libraries contain the API-specific logic (argument
+classification, size expressions, sync conditions — all inlined by
+CAvA); this runtime supplies the API-agnostic machinery:
+
+* building and costing the :class:`~repro.remoting.codec.Command`,
+* submitting through the hypervisor transport,
+* sync semantics (block until completion + reply leg) vs async
+  semantics (return the type's success value immediately; §4.2),
+* applying reply outputs to the caller's buffers/boxes in place,
+* deferred async error delivery — an async call's failure surfaces on
+  the next synchronous call, the fidelity loss the paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.guest.driver import GuestDriver
+from repro.remoting.buffers import OutBox, read_bytes, write_back
+from repro.remoting.codec import Command, Reply
+
+
+class RemotingError(Exception):
+    """Infrastructure failure of the forwarding path itself.
+
+    Native API errors travel as ordinary return codes; this exception is
+    reserved for breakage of the remoting machinery (router rejection,
+    server fault, marshaling bug) — cases where a real guest library
+    would have no honest error code to return.
+    """
+
+
+class GuestRuntime:
+    """Per-VM, per-API invocation runtime."""
+
+    def __init__(
+        self,
+        driver: GuestDriver,
+        api_name: str,
+        marshal_call_cost: float = 0.6e-6,
+        marshal_byte_cost: float = 0.002e-9,
+    ) -> None:
+        self.driver = driver
+        self.api_name = api_name
+        self.marshal_call_cost = marshal_call_cost
+        self.marshal_byte_cost = marshal_byte_cost
+        #: deferred error from an earlier async call (delivered later)
+        self.pending_async_error: Optional[float] = None
+        #: guest callback registry: id → callable (§4.2 callbacks)
+        self._callbacks: Dict[int, Any] = {}
+        self._next_callback_id = 1
+        #: counters for tests and the harness
+        self.calls_sync = 0
+        self.calls_async = 0
+
+    @property
+    def clock(self):
+        return self.driver.clock
+
+    # -- helpers generated stubs call ------------------------------------------
+
+    @staticmethod
+    def handle_list(values: Optional[List[Any]],
+                    count: Optional[int] = None) -> Optional[List[int]]:
+        """Marshal a guest-side handle array (list of guest ids)."""
+        if values is None:
+            return None
+        items = list(values) if count is None else list(values)[: int(count)]
+        result = []
+        for item in items:
+            if item is None:
+                result.append(0)
+            elif isinstance(item, int):
+                result.append(item)
+            else:
+                raise RemotingError(
+                    f"handle array contains a non-handle {type(item).__name__}"
+                )
+        return result
+
+    def register_callback(self, fn: Any) -> Optional[int]:
+        """Marshal a guest function pointer as a callback-registry id.
+
+        The same callable registers once; the host forwards invocations
+        back with replies, deferred to the call's completion — the same
+        fidelity contract as async error delivery (§4.2).
+        """
+        if fn is None:
+            return None
+        if not callable(fn):
+            raise RemotingError(
+                f"callback parameter expects a callable, got "
+                f"{type(fn).__name__}"
+            )
+        for cb_id, existing in self._callbacks.items():
+            if existing is fn:
+                return cb_id
+        cb_id = self._next_callback_id
+        self._next_callback_id += 1
+        self._callbacks[cb_id] = fn
+        return cb_id
+
+    def _deliver_callbacks(self, reply: Reply, function: str) -> None:
+        for entry in reply.callbacks:
+            cb_id, args = entry[0], entry[1]
+            fn = self._callbacks.get(cb_id)
+            if fn is None:
+                raise RemotingError(
+                    f"{function}: host invoked unknown callback {cb_id}"
+                )
+            fn(*args)
+
+    @staticmethod
+    def read_buffer(value: Any, nbytes: int, param: str) -> bytes:
+        if nbytes < 0:
+            raise RemotingError(
+                f"size expression for parameter {param!r} evaluated to "
+                f"{nbytes} (< 0)"
+            )
+        data = read_bytes(value, limit=nbytes)
+        if len(data) < nbytes:
+            raise RemotingError(
+                f"parameter {param!r}: caller buffer has {len(data)} bytes, "
+                f"spec says the call reads {nbytes}"
+            )
+        return data
+
+    # -- submission ----------------------------------------------------------------
+
+    def submit(
+        self,
+        function: str,
+        mode: str,
+        scalars: Dict[str, Any],
+        handles: Dict[str, Any],
+        in_buffers: Dict[str, bytes],
+        out_sizes: Dict[str, int],
+        out_targets: Dict[str, Tuple[str, Any]],
+        ret_kind: str = "scalar",
+        success: Any = 0,
+    ) -> Any:
+        """Forward one call.  ``out_targets`` maps parameter names to
+        (kind, target) pairs with kind in {"buffer", "scalar_box",
+        "handle_box", "handle_array"}."""
+        clock = self.driver.clock
+        payload = sum(len(chunk) for chunk in in_buffers.values())
+        clock.advance(
+            self.marshal_call_cost + payload * self.marshal_byte_cost,
+            "marshal",
+        )
+        command = Command(
+            seq=self.driver.next_seq(),
+            vm_id=self.driver.vm_id,
+            api=self.api_name,
+            function=function,
+            mode=mode,
+            scalars=scalars,
+            handles=handles,
+            in_buffers=in_buffers,
+            out_sizes=out_sizes,
+            issue_time=clock.now,
+        )
+        result = self.driver.transport.deliver(
+            command, clock.now, asynchronous=(mode == "async")
+        )
+        clock.advance_to(result.sent_at, "transport")
+
+        if mode == "async":
+            self.calls_async += 1
+            self._note_async_outcome(result.reply, success)
+            # Outputs that did come back are applied eagerly: semantically
+            # the data "lands by the time the guest synchronizes", which a
+            # well-formed guest cannot distinguish.  Errors remain the
+            # fidelity loss async forwarding cannot repair (§4.2).
+            if result.reply.error is None:
+                self._apply_outputs(result.reply, out_targets, function)
+                self._deliver_callbacks(result.reply, function)
+            return success
+
+        self.calls_sync += 1
+        reply = result.reply
+        if reply.error is not None:
+            raise RemotingError(f"{function}: {reply.error}")
+        # wait for host completion, then pay the reply leg and unmarshal
+        clock.advance_to(result.completed_at, "host_wait")
+        clock.advance(result.reply_cost, "transport")
+        reply_bytes = reply.payload_bytes()
+        clock.advance(
+            self.marshal_call_cost + reply_bytes * self.marshal_byte_cost,
+            "marshal",
+        )
+        self._apply_outputs(reply, out_targets, function)
+        self._deliver_callbacks(reply, function)
+        value = self._map_return(reply, ret_kind)
+        if self.pending_async_error is not None and ret_kind == "scalar":
+            deferred, self.pending_async_error = self.pending_async_error, None
+            if value == success:
+                return deferred
+        return value
+
+    # -- reply handling ---------------------------------------------------------
+
+    def _note_async_outcome(self, reply: Reply, success: Any) -> None:
+        if reply.error is not None:
+            # infrastructure fault on an async call: surface it later too
+            if self.pending_async_error is None:
+                self.pending_async_error = -1001.0
+        elif reply.return_value not in (None, success):
+            if self.pending_async_error is None:
+                value = reply.return_value
+                self.pending_async_error = (
+                    value if isinstance(value, (int, float)) else -1001.0
+                )
+
+    def _apply_outputs(
+        self,
+        reply: Reply,
+        out_targets: Dict[str, Tuple[str, Any]],
+        function: str,
+    ) -> None:
+        for name, (kind, target) in out_targets.items():
+            if target is None:
+                continue
+            if kind == "buffer":
+                chunk = reply.out_payloads.get(name)
+                if chunk is not None:
+                    write_back(target, chunk)
+            elif kind == "scalar_box":
+                if name in reply.out_scalars:
+                    target[0] = reply.out_scalars[name]
+            elif kind == "handle_box":
+                if name in reply.new_handles:
+                    target[0] = reply.new_handles[name]
+            elif kind == "handle_array":
+                ids = reply.new_handles.get(name)
+                if ids is not None:
+                    for index, guest_id in enumerate(ids):
+                        target[index] = guest_id
+            else:
+                raise RemotingError(
+                    f"{function}: unknown output kind {kind!r} for {name!r}"
+                )
+
+    def _map_return(self, reply: Reply, ret_kind: str) -> Any:
+        if ret_kind == "handle":
+            return reply.new_handles.get("__ret__")
+        if ret_kind == "none":
+            return None
+        return reply.return_value

@@ -1,0 +1,22 @@
+"""Measurement harness: native-vs-AvA runs and report generation."""
+
+from repro.harness.runner import (
+    FigureFiveRow,
+    Measurement,
+    run_figure5,
+    run_native_opencl,
+    run_native_mvnc,
+    run_virtualized,
+)
+from repro.harness.report import format_figure5, format_table
+
+__all__ = [
+    "FigureFiveRow",
+    "Measurement",
+    "format_figure5",
+    "format_table",
+    "run_figure5",
+    "run_native_mvnc",
+    "run_native_opencl",
+    "run_virtualized",
+]

@@ -1,0 +1,137 @@
+"""Running workloads natively and through AvA, and comparing them.
+
+"Native" means the workload calls the vendor API directly (the
+pass-through configuration the paper normalizes against); "AvA" means
+the same workload object calls a CAvA-generated guest library inside a
+guest VM, with every command crossing the hypervisor router.  Both run
+on identical simulated devices with identical cost models, so the ratio
+isolates the forwarding overhead — the quantity Figure 5 reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.mvnc import api as mvnc_api
+from repro.mvnc.device import SimulatedNCS
+from repro.opencl import api as cl_api
+from repro.opencl.device import SimulatedGPU
+from repro.opencl.runtime import session
+from repro.stack import make_hypervisor
+from repro.vclock import VirtualClock
+from repro.workloads import OPENCL_WORKLOADS, InceptionWorkload
+from repro.workloads.base import WorkloadResult
+
+
+@dataclass
+class Measurement:
+    """One workload run: outcome + virtual-time accounting."""
+
+    name: str
+    mode: str  # "native" or "ava"
+    runtime: float
+    verified: bool
+    detail: str = ""
+    accounts: Dict[str, float] = field(default_factory=dict)
+    calls_sync: int = 0
+    calls_async: int = 0
+
+
+def run_native_opencl(workload: Any,
+                      gpu: Optional[SimulatedGPU] = None) -> Measurement:
+    """Run an OpenCL workload directly against the native library."""
+    clock = VirtualClock("native-app")
+    with session([gpu or SimulatedGPU()], clock=clock):
+        result: WorkloadResult = workload.run(cl_api)
+    return Measurement(
+        name=workload.name, mode="native", runtime=clock.now,
+        verified=result.verified, detail=result.detail,
+        accounts=clock.accounts(),
+    )
+
+
+def run_native_mvnc(workload: Any,
+                    ncs: Optional[SimulatedNCS] = None) -> Measurement:
+    """Run an MVNC workload directly against the native library."""
+    clock = VirtualClock("native-ncapp")
+    with mvnc_api.ncs_session([ncs or SimulatedNCS()], clock=clock):
+        result = workload.run(mvnc_api)
+    return Measurement(
+        name=workload.name, mode="native", runtime=clock.now,
+        verified=result.verified, detail=result.detail,
+        accounts=clock.accounts(),
+    )
+
+
+def run_virtualized(
+    workload: Any,
+    api_name: str = "opencl",
+    hypervisor: Optional[Hypervisor] = None,
+    vm_id: str = "vm-bench",
+    transport: str = "inproc",
+) -> Measurement:
+    """Run a workload inside a guest VM through the full AvA stack."""
+    hv = hypervisor or make_hypervisor(apis=(api_name,))
+    vm = hv.create_vm(vm_id, transport=transport)
+    library = vm.library(api_name)
+    result = workload.run(library)
+    runtime = vm.runtimes[api_name]
+    return Measurement(
+        name=workload.name, mode="ava", runtime=vm.clock.now,
+        verified=result.verified, detail=result.detail,
+        accounts=vm.clock.accounts(),
+        calls_sync=runtime.calls_sync, calls_async=runtime.calls_async,
+    )
+
+
+@dataclass
+class FigureFiveRow:
+    """One bar of Figure 5."""
+
+    name: str
+    device: str
+    native: Measurement
+    virtualized: Measurement
+
+    @property
+    def relative_runtime(self) -> float:
+        if self.native.runtime == 0:
+            return float("inf")
+        return self.virtualized.runtime / self.native.runtime
+
+    @property
+    def verified(self) -> bool:
+        return self.native.verified and self.virtualized.verified
+
+
+def run_figure5(
+    scale: float = 1.0,
+    transport: str = "inproc",
+    workload_classes: Optional[Sequence[Callable[..., Any]]] = None,
+    include_mvnc: bool = True,
+) -> List[FigureFiveRow]:
+    """Reproduce Figure 5: per-workload relative end-to-end runtime."""
+    rows: List[FigureFiveRow] = []
+    classes = list(workload_classes
+                   if workload_classes is not None else OPENCL_WORKLOADS)
+    for cls in classes:
+        workload = cls(scale=scale)
+        native = run_native_opencl(workload)
+        virtualized = run_virtualized(
+            workload, api_name="opencl", transport=transport,
+            vm_id=f"vm-{workload.name}",
+        )
+        rows.append(FigureFiveRow(workload.name, "GTX 1080 (sim)", native,
+                                  virtualized))
+    if include_mvnc:
+        workload = InceptionWorkload()
+        native = run_native_mvnc(workload)
+        virtualized = run_virtualized(
+            workload, api_name="mvnc", transport=transport,
+            vm_id="vm-inception",
+        )
+        rows.append(FigureFiveRow(workload.name, "Movidius NCS (sim)",
+                                  native, virtualized))
+    return rows

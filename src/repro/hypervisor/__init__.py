@@ -1,0 +1,38 @@
+"""The hypervisor half of AvA: VMs, the invocation router, schedulers.
+
+API remoting traditionally bypasses the hypervisor; AvA's point (§2-§3)
+is to route every forwarded call through hypervisor-managed transport so
+the hypervisor regains interposition.  This package is that layer:
+:class:`~repro.hypervisor.router.Router` verifies, rate-limits, accounts
+and schedules every command; :class:`~repro.hypervisor.hypervisor.Hypervisor`
+owns VM and API-server lifecycles; :mod:`repro.hypervisor.scheduler`
+provides the device-time schedulers used for cross-VM sharing.
+"""
+
+from repro.hypervisor.policy import RateLimiter, ResourcePolicy, VMPolicy
+from repro.hypervisor.router import Router, RoutingInfo, RoutingTable
+from repro.hypervisor.scheduler import (
+    ContendedDevice,
+    FairShareScheduler,
+    FifoScheduler,
+    RoundRobinScheduler,
+    WorkItem,
+)
+from repro.hypervisor.hypervisor import Hypervisor
+from repro.hypervisor.vm import GuestVM
+
+__all__ = [
+    "ContendedDevice",
+    "FairShareScheduler",
+    "FifoScheduler",
+    "GuestVM",
+    "Hypervisor",
+    "RateLimiter",
+    "ResourcePolicy",
+    "RoundRobinScheduler",
+    "Router",
+    "RoutingInfo",
+    "RoutingTable",
+    "VMPolicy",
+    "WorkItem",
+]

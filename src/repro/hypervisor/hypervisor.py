@@ -1,0 +1,163 @@
+"""Hypervisor: VM lifecycle, API registration, worker placement.
+
+The hypervisor wires the pieces together: it owns the router (the
+interposition point), creates guest VMs with their chosen transport,
+lazily spawns one API server worker per (VM, API) pair, and implements
+VM migration by draining a worker and replaying its recorded state onto
+a fresh one (typically bound to a different physical device).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, ContextManager, Dict, Optional, Tuple
+
+from repro.hypervisor.policy import RateLimiter, ResourcePolicy
+from repro.hypervisor.router import Router, RoutingTable
+from repro.hypervisor.vm import GuestVM
+from repro.migration.replayer import MigrationReport, migrate_worker
+from repro.server.api_server import ApiServerWorker
+from repro.spec.model import RecordKind
+from repro.transport.base import Transport
+from repro.transport.inproc import InProcTransport
+from repro.transport.network import NetworkTransport
+from repro.transport.ring import RingTransport
+
+TRANSPORTS = {
+    "inproc": InProcTransport,
+    "ring": RingTransport,
+    "network": NetworkTransport,
+}
+
+#: builds a per-worker native session context factory
+SessionFactoryBuilder = Callable[
+    [ApiServerWorker], Callable[[ApiServerWorker], ContextManager]
+]
+
+
+@dataclass
+class ApiRegistration:
+    """Everything the hypervisor needs to serve one API."""
+
+    name: str
+    routing_table: RoutingTable
+    dispatch: Dict[str, Any]
+    record_kinds: Dict[str, RecordKind]
+    guest_module: Any
+    #: called once per new worker; returns that worker's session factory
+    session_binder: Callable[[ApiServerWorker], Callable[..., ContextManager]]
+
+
+class Hypervisor:
+    """The host: router + VMs + API server workers."""
+
+    def __init__(self, policy: Optional[ResourcePolicy] = None) -> None:
+        self.policy = policy or ResourcePolicy()
+        self.rate_limiter = RateLimiter(self.policy)
+        self.router = Router(self._worker_for, rate_limiter=self.rate_limiter,
+                             policy=self.policy)
+        self.apis: Dict[str, ApiRegistration] = {}
+        self.vms: Dict[str, GuestVM] = {}
+        self.workers: Dict[Tuple[str, str], ApiServerWorker] = {}
+
+    # -- configuration ---------------------------------------------------------
+
+    def register_api(self, registration: ApiRegistration) -> None:
+        self.apis[registration.name] = registration
+        self.router.register_api(registration.routing_table)
+
+    def create_vm(self, vm_id: str, transport: str = "inproc",
+                  **transport_kwargs: Any) -> GuestVM:
+        if vm_id in self.vms:
+            raise ValueError(f"VM {vm_id!r} already exists")
+        transport_cls = TRANSPORTS.get(transport)
+        if transport_cls is None:
+            raise ValueError(
+                f"unknown transport {transport!r}; "
+                f"choose from {sorted(TRANSPORTS)}"
+            )
+        channel: Transport = transport_cls(self.router, **transport_kwargs)
+        vm = GuestVM(vm_id, channel)
+        self.vms[vm_id] = vm
+        self.router.register_vm(vm_id)
+        for api in self.apis.values():
+            vm.bind_library(api.name, api.guest_module)
+        return vm
+
+    def destroy_vm(self, vm_id: str) -> None:
+        vm = self.vms.pop(vm_id, None)
+        if vm is not None:
+            vm.shutdown()
+        for key in [k for k in self.workers if k[0] == vm_id]:
+            del self.workers[key]
+
+    # -- worker placement -----------------------------------------------------
+
+    def _worker_for(self, vm_id: str, api_name: str) -> Optional[ApiServerWorker]:
+        key = (vm_id, api_name)
+        worker = self.workers.get(key)
+        if worker is not None:
+            return worker
+        registration = self.apis.get(api_name)
+        if registration is None or vm_id not in self.vms:
+            return None
+        worker = self._spawn_worker(vm_id, registration)
+        self.workers[key] = worker
+        return worker
+
+    def _spawn_worker(self, vm_id: str,
+                      registration: ApiRegistration) -> ApiServerWorker:
+        worker = ApiServerWorker(
+            vm_id=vm_id,
+            api_name=registration.name,
+            dispatch=registration.dispatch,
+            session_factory=lambda w: (_ for _ in ()).throw(
+                RuntimeError("session factory not bound")
+            ),
+            record_kinds=registration.record_kinds,
+        )
+        worker.session_factory = registration.session_binder(worker)
+        return worker
+
+    def worker(self, vm_id: str, api_name: str) -> ApiServerWorker:
+        worker = self._worker_for(vm_id, api_name)
+        if worker is None:
+            raise KeyError(f"no worker for VM {vm_id!r} API {api_name!r}")
+        return worker
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate_vm(self, vm_id: str, api_name: str) -> MigrationReport:
+        """Migrate one VM's device state onto a fresh worker.
+
+        The fresh worker is created through the API's session binder, so
+        if the binder allocates per-worker devices the VM lands on new
+        hardware — the disaggregation/evacuation scenario.
+        """
+        key = (vm_id, api_name)
+        source = self.workers.get(key)
+        if source is None:
+            raise KeyError(f"VM {vm_id!r} has no active worker for {api_name!r}")
+        registration = self.apis[api_name]
+        target = self._spawn_worker(vm_id, registration)
+        report = migrate_worker(source, target)
+        self.workers[key] = target
+        # the guest resumes no earlier than the migration finished
+        self.vms[vm_id].clock.advance_to(target.clock.now, "migration")
+        return report
+
+    # -- administration interface (paper §4.3) -------------------------------------
+
+    def admin_report(self) -> Dict[str, Any]:
+        """Per-VM resource usage as the admin interface would show it."""
+        report: Dict[str, Any] = {}
+        for vm_id in self.vms:
+            metrics = self.router.metrics_for(vm_id)
+            report[vm_id] = {
+                "commands": metrics.commands,
+                "rejected": metrics.rejected,
+                "payload_bytes": metrics.payload_bytes,
+                "rate_delay": metrics.rate_delay,
+                "resources": dict(metrics.resources),
+            }
+        return report

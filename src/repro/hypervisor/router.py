@@ -1,0 +1,260 @@
+"""The invocation router: AvA's recovered interposition point.
+
+Every forwarded command crosses this module — there is no guest→server
+path around it.  The router (paper §4.1, §4.3):
+
+* **verifies** commands (known API and function, sane payload sizes) —
+  guest input is untrusted bytes,
+* **rate-limits** per VM via the token-bucket policy,
+* **accounts** resource-usage estimates from the spec's ``consumes``
+  annotations (e.g. bus bytes for copies) per VM,
+* **schedules** the command's release to the per-VM API server worker,
+* and logs per-VM metrics the administration interface exposes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.remoting.codec import (
+    CodecError,
+    Command,
+    Reply,
+    decode_message,
+    encode_message,
+)
+from repro.spec.expr import Evaluator, Expr
+from repro.spec.model import ApiSpec, RecordKind
+
+
+@dataclass
+class RoutingInfo:
+    """What the router knows about one API function."""
+
+    name: str
+    record_kind: Optional[RecordKind] = None
+    #: resource name → size/cost expression over the call's scalars
+    resources: Dict[str, Expr] = field(default_factory=dict)
+
+
+@dataclass
+class RoutingTable:
+    """Per-API routing data, distilled from the API spec.
+
+    This is the "API command routing module for the hypervisor" CAvA
+    generates: the hypervisor never loads the full spec, only this
+    table.
+    """
+
+    api: str
+    functions: Dict[str, RoutingInfo] = field(default_factory=dict)
+    constants: Dict[str, float] = field(default_factory=dict)
+    sizeof_table: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def from_spec(cls, spec: ApiSpec) -> "RoutingTable":
+        table = cls(api=spec.name, constants=dict(spec.constants),
+                    sizeof_table=spec.sizeof_table())
+        for func in spec.functions.values():
+            if func.unsupported:
+                continue
+            table.functions[func.name] = RoutingInfo(
+                name=func.name,
+                record_kind=func.record_kind,
+                resources=dict(func.resources),
+            )
+        return table
+
+
+@dataclass
+class VMMetrics:
+    """Per-VM accounting the router maintains."""
+
+    commands: int = 0
+    rejected: int = 0
+    payload_bytes: int = 0
+    rate_delay: float = 0.0
+    #: resource name → accumulated estimate (from `consumes` annotations)
+    resources: Dict[str, float] = field(default_factory=dict)
+    per_function: Dict[str, int] = field(default_factory=dict)
+
+
+class RouterError(Exception):
+    """Command rejected by router verification."""
+
+
+class Router:
+    """Hypervisor-resident command router.
+
+    ``worker_resolver(vm_id, api)`` returns the API server worker a
+    verified command is dispatched to; the hypervisor provides it.
+    """
+
+    def __init__(
+        self,
+        worker_resolver: Callable[[str, str], Any],
+        rate_limiter: Optional[Any] = None,
+        policy: Optional[Any] = None,
+        interposition_cost: float = 0.4e-6,
+        max_payload_bytes: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.worker_resolver = worker_resolver
+        self.rate_limiter = rate_limiter
+        #: ResourcePolicy supplying per-VM resource quotas (optional)
+        self.policy = policy
+        self.interposition_cost = interposition_cost
+        self.max_payload_bytes = max_payload_bytes
+        self.tables: Dict[str, RoutingTable] = {}
+        self.metrics: Dict[str, VMMetrics] = {}
+        self.known_vms: set = set()
+
+    # -- configuration -------------------------------------------------------
+
+    def register_api(self, table: RoutingTable) -> None:
+        self.tables[table.api] = table
+
+    def register_vm(self, vm_id: str) -> None:
+        self.known_vms.add(vm_id)
+        self.metrics.setdefault(vm_id, VMMetrics())
+
+    def metrics_for(self, vm_id: str) -> VMMetrics:
+        return self.metrics.setdefault(vm_id, VMMetrics())
+
+    # -- verification ----------------------------------------------------------
+
+    def _verify(self, command: Command) -> RoutingInfo:
+        if command.vm_id not in self.known_vms:
+            raise RouterError(f"unknown VM {command.vm_id!r}")
+        table = self.tables.get(command.api)
+        if table is None:
+            raise RouterError(f"unknown API {command.api!r}")
+        info = table.functions.get(command.function)
+        if info is None:
+            raise RouterError(
+                f"API {command.api!r} does not route {command.function!r}"
+            )
+        payload = command.payload_bytes()
+        if payload > self.max_payload_bytes:
+            raise RouterError(
+                f"payload {payload} B exceeds router limit "
+                f"{self.max_payload_bytes} B"
+            )
+        for name, size in command.out_sizes.items():
+            if not isinstance(size, int) or size < 0:
+                raise RouterError(f"bad out-size for {name!r}: {size!r}")
+            if size > self.max_payload_bytes:
+                raise RouterError(
+                    f"out-buffer {name!r} of {size} B exceeds router limit"
+                )
+        return info
+
+    def _estimate(self, command: Command, info: RoutingInfo,
+                  table: RoutingTable) -> Dict[str, float]:
+        """Evaluate the spec's `consumes` expressions for one command."""
+        if not info.resources:
+            return {}
+        env: Dict[str, float] = dict(table.constants)
+        env.update({
+            key: value
+            for key, value in command.scalars.items()
+            if isinstance(value, (int, float))
+        })
+        for name, chunk in command.in_buffers.items():
+            env.setdefault(name, float(len(chunk)))
+        evaluator = Evaluator(env, table.sizeof_table)
+        estimates: Dict[str, float] = {}
+        for resource, expr in info.resources.items():
+            try:
+                estimates[resource] = evaluator.evaluate(expr)
+            except Exception:
+                continue  # estimate only; never fail the call over it
+        return estimates
+
+    def _check_quota(self, vm_id: str,
+                     estimates: Dict[str, float]) -> Optional[str]:
+        """The resource (if any) this command would push past its quota."""
+        if self.policy is None or not estimates:
+            return None
+        limits = self.policy.policy_for(vm_id).resource_limits
+        if not limits:
+            return None
+        entry = self.metrics_for(vm_id)
+        for resource, amount in estimates.items():
+            limit = limits.get(resource)
+            if limit is not None and \
+                    entry.resources.get(resource, 0.0) + amount > limit:
+                return resource
+        return None
+
+    def _account(self, command: Command,
+                 estimates: Dict[str, float]) -> None:
+        entry = self.metrics_for(command.vm_id)
+        entry.commands += 1
+        entry.payload_bytes += command.payload_bytes()
+        entry.per_function[command.function] = (
+            entry.per_function.get(command.function, 0) + 1
+        )
+        for resource, amount in estimates.items():
+            entry.resources[resource] = (
+                entry.resources.get(resource, 0.0) + amount
+            )
+
+    # -- the data path -----------------------------------------------------------
+
+    def deliver(self, wire: bytes, arrival: float) -> bytes:
+        """Verify, schedule and dispatch one encoded command; returns the
+        encoded reply.  Verification failures produce error replies (the
+        guest sees a failed call, the host is untouched)."""
+        try:
+            command = decode_message(wire)
+        except CodecError as err:
+            return encode_message(
+                Reply(seq=-1, error=f"router: malformed command ({err})",
+                      complete_time=arrival)
+            )
+        if not isinstance(command, Command):
+            return encode_message(
+                Reply(seq=-1, error="router: expected a command",
+                      complete_time=arrival)
+            )
+        try:
+            info = self._verify(command)
+        except RouterError as err:
+            entry = self.metrics_for(command.vm_id)
+            entry.rejected += 1
+            return encode_message(
+                Reply(seq=command.seq, error=f"router: {err}",
+                      complete_time=arrival)
+            )
+
+        estimates = self._estimate(command, info, self.tables[command.api])
+        exhausted = self._check_quota(command.vm_id, estimates)
+        if exhausted is not None:
+            entry = self.metrics_for(command.vm_id)
+            entry.rejected += 1
+            return encode_message(
+                Reply(seq=command.seq,
+                      error=f"router: resource quota exhausted for "
+                            f"{exhausted!r}",
+                      complete_time=arrival)
+            )
+
+        release = arrival + self.interposition_cost
+        if self.rate_limiter is not None:
+            allowed = self.rate_limiter.next_allowed(command.vm_id, release)
+            self.metrics_for(command.vm_id).rate_delay += allowed - release
+            release = allowed
+
+        self._account(command, estimates)
+
+        worker = self.worker_resolver(command.vm_id, command.api)
+        if worker is None:
+            return encode_message(
+                Reply(seq=command.seq,
+                      error=f"router: no API server for VM "
+                            f"{command.vm_id!r} API {command.api!r}",
+                      complete_time=release)
+            )
+        reply = worker.execute(command, release)
+        return encode_message(reply)

@@ -1,0 +1,199 @@
+"""Device-time schedulers and the contended-device simulation.
+
+AvA's router "schedules execution at function call granularity" using
+resource-usage approximations from the spec (§4.3).  This module provides
+three policies over a shared device and a small discrete-event engine to
+evaluate them:
+
+* :class:`FifoScheduler` — arrival order (no isolation),
+* :class:`RoundRobinScheduler` — alternate among VMs with ready work,
+* :class:`FairShareScheduler` — weighted device-time fairness via
+  virtual-time tags (start-time fair queuing at call granularity).
+
+Each guest stream is *closed-loop*: a VM submits its next command some
+think-time after its previous command completes — which is how real
+guest applications behave and what makes fairness measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.hypervisor.policy import RateLimiter, ResourcePolicy
+
+
+@dataclass
+class WorkItem:
+    """One device command in a guest's stream."""
+
+    duration: float
+    think_time: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duration < 0 or self.think_time < 0:
+            raise ValueError("durations cannot be negative")
+
+
+class Scheduler:
+    """Policy interface: pick the next VM among those with ready work."""
+
+    def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
+        raise NotImplementedError
+
+    def weight_of(self, vm_id: str) -> float:
+        return 1.0
+
+
+class FifoScheduler(Scheduler):
+    """No policy: whichever ready VM queued first (alphabetical tiebreak
+    on equal readiness — the engine passes streams in readiness order)."""
+
+    def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
+        return ready[0]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through VMs with ready work."""
+
+    def __init__(self) -> None:
+        self._last: Optional[str] = None
+
+    def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
+        ordered = sorted(ready)
+        if self._last is None:
+            choice = ordered[0]
+        else:
+            after = [vm for vm in ordered if vm > self._last]
+            choice = after[0] if after else ordered[0]
+        self._last = choice
+        return choice
+
+
+class FairShareScheduler(Scheduler):
+    """Weighted fair sharing of device time.
+
+    Each VM carries a virtual-time tag: accumulated device time divided
+    by its weight.  The scheduler always runs the ready VM with the
+    smallest tag, so over any interval in which VMs stay busy their
+    device time converges to the weight ratio.
+    """
+
+    def __init__(self, policy: Optional[ResourcePolicy] = None) -> None:
+        self.policy = policy or ResourcePolicy()
+
+    def weight_of(self, vm_id: str) -> float:
+        weight = self.policy.policy_for(vm_id).weight
+        if weight <= 0:
+            raise ValueError(f"weight for {vm_id!r} must be positive")
+        return weight
+
+    def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
+        return min(
+            sorted(ready),
+            key=lambda vm: usage.get(vm, 0.0) / self.weight_of(vm),
+        )
+
+
+@dataclass
+class StreamStats:
+    """Per-VM outcome of a contended run."""
+
+    vm_id: str
+    completed: int = 0
+    device_time: float = 0.0
+    finish_time: float = 0.0
+    total_wait: float = 0.0
+    #: completion timestamps (for throughput-over-time analysis)
+    completions: List[float] = field(default_factory=list)
+    #: per-item queueing waits (submission → start)
+    waits: List[float] = field(default_factory=list)
+
+    @property
+    def max_wait(self) -> float:
+        return max(self.waits) if self.waits else 0.0
+
+    @property
+    def mean_wait(self) -> float:
+        return self.total_wait / self.completed if self.completed else 0.0
+
+
+class ContendedDevice:
+    """Discrete-event simulation of N closed-loop guests sharing a device.
+
+    The engine is deliberately simple: one non-preemptive device (AvA
+    schedules at call granularity — it cannot preempt a running kernel),
+    per-VM closed-loop streams, an optional router rate limiter applied
+    at submission, and a pluggable pick policy.
+    """
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        rate_limiter: Optional[RateLimiter] = None,
+    ) -> None:
+        self.scheduler = scheduler
+        self.rate_limiter = rate_limiter
+
+    def run(self, streams: Dict[str, List[WorkItem]]) -> Dict[str, StreamStats]:
+        if not streams:
+            raise ValueError("no streams to schedule")
+        stats = {vm: StreamStats(vm_id=vm) for vm in streams}
+        index = {vm: 0 for vm in streams}
+        next_submit = {vm: 0.0 for vm in streams}
+        usage: Dict[str, float] = {vm: 0.0 for vm in streams}
+        device_free = 0.0
+        # the rate limiter is stateful (token bucket): consult it exactly
+        # once per item, when the item becomes pending
+        release_cache: Dict[str, Optional[float]] = {vm: None
+                                                     for vm in streams}
+
+        def remaining(vm: str) -> bool:
+            return index[vm] < len(streams[vm])
+
+        while any(remaining(vm) for vm in streams):
+            release = {}
+            for vm in streams:
+                if remaining(vm):
+                    if release_cache[vm] is None:
+                        submit = next_submit[vm]
+                        if self.rate_limiter is not None:
+                            submit = self.rate_limiter.next_allowed(
+                                vm, submit
+                            )
+                        release_cache[vm] = submit
+                    release[vm] = release_cache[vm]
+            ready = [vm for vm, t in release.items() if t <= device_free]
+            if not ready:
+                device_free = min(release.values())
+                ready = [vm for vm, t in release.items() if t <= device_free]
+            ready.sort(key=lambda vm: (release[vm], vm))
+            chosen = self.scheduler.pick(ready, usage)
+            item = streams[chosen][index[chosen]]
+            start = max(device_free, release[chosen])
+            end = start + item.duration
+            device_free = end
+            usage[chosen] += item.duration
+
+            entry = stats[chosen]
+            entry.completed += 1
+            entry.device_time += item.duration
+            entry.finish_time = end
+            entry.total_wait += start - next_submit[chosen]
+            entry.waits.append(start - next_submit[chosen])
+            entry.completions.append(end)
+
+            index[chosen] += 1
+            next_submit[chosen] = end + item.think_time
+            release_cache[chosen] = None
+        return stats
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index: 1.0 = perfectly fair, 1/n = maximally unfair."""
+    values = [v for v in values]
+    if not values or all(v == 0 for v in values):
+        return 1.0
+    total = sum(values)
+    squares = sum(v * v for v in values)
+    return (total * total) / (len(values) * squares)

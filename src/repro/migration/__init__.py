@@ -1,0 +1,28 @@
+"""VM migration by API record/replay (paper §4.3).
+
+AvA migrates accelerator state without device-specific drivers: calls
+annotated ``record(...)`` in the spec are logged during normal execution
+(:mod:`repro.migration.recorder`, with Nooks-style object tracking so
+destroyed objects drop out of the log); migration replays the log on a
+fresh API server with forced handle ids and restores device-buffer
+contents from a synthesized snapshot (:mod:`repro.migration.replayer`).
+"""
+
+from repro.migration.recorder import CallRecorder, RecordedCall
+from repro.migration.replayer import (
+    MigrationError,
+    MigrationReport,
+    migrate_worker,
+    restore_buffers,
+    snapshot_buffers,
+)
+
+__all__ = [
+    "CallRecorder",
+    "MigrationError",
+    "MigrationReport",
+    "RecordedCall",
+    "migrate_worker",
+    "restore_buffers",
+    "snapshot_buffers",
+]

@@ -1,0 +1,132 @@
+"""Migration replay: rebuild a guest's device state on a fresh worker.
+
+The sequence (paper §4.3): suspend invocations, synthesize copies of all
+extant device buffers to host memory, free device resources; migrate the
+VM by any technique; then replay the recorded calls to reinitialize the
+device and reallocate objects *under their original guest ids*, restore
+buffer contents, and resume.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.migration.recorder import CallRecorder
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a server↔migration cycle
+    from repro.server.api_server import ApiServerWorker
+
+
+class MigrationError(Exception):
+    """Replay failed — the target worker is not a faithful reconstruction."""
+
+
+@dataclass
+class MigrationReport:
+    """What one migration cost."""
+
+    replayed_calls: int = 0
+    restored_buffers: int = 0
+    snapshot_bytes: int = 0
+    #: virtual seconds of guest-visible downtime (snapshot + replay + restore)
+    downtime: float = 0.0
+    source_vm: str = ""
+
+
+def _is_buffer_object(obj: Any) -> bool:
+    return hasattr(obj, "data") and hasattr(obj, "size") and hasattr(obj, "device")
+
+
+def snapshot_buffers(worker: "ApiServerWorker") -> Dict[int, bytes]:
+    """Synthesized device→host copies of every live buffer object.
+
+    Charges the worker clock for the copies, as the real system would
+    spend PCIe time here.
+    """
+    snapshot: Dict[int, bytes] = {}
+    for guest_id, obj in worker.handles.items():
+        if _is_buffer_object(obj) and not getattr(obj, "released", False):
+            snapshot[guest_id] = obj.data.tobytes()
+            worker.clock.advance(obj.device.copy_cost(obj.size), "snapshot")
+    return snapshot
+
+
+def restore_buffers(worker: "ApiServerWorker",
+                    snapshot: Dict[int, bytes]) -> int:
+    """Write snapshot contents into the replayed objects."""
+    import numpy as np
+
+    restored = 0
+    for guest_id, payload in snapshot.items():
+        try:
+            obj = worker.handles.lookup(guest_id)
+        except Exception as err:
+            raise MigrationError(
+                f"snapshot names handle {guest_id:#x} but replay did not "
+                f"recreate it: {err}"
+            ) from err
+        if not _is_buffer_object(obj):
+            raise MigrationError(
+                f"handle {guest_id:#x} is not a buffer after replay"
+            )
+        if obj.size != len(payload):
+            raise MigrationError(
+                f"buffer {guest_id:#x} replayed with size {obj.size}, "
+                f"snapshot has {len(payload)} bytes"
+            )
+        obj.data[:] = np.frombuffer(payload, dtype=np.uint8)
+        worker.clock.advance(obj.device.copy_cost(obj.size), "restore")
+        restored += 1
+    return restored
+
+
+def replay_log(target: "ApiServerWorker", recorder: CallRecorder) -> int:
+    """Re-execute recorded calls on ``target`` with forced handle ids."""
+    replayed = 0
+    for entry in recorder.log:
+        # Forced ids must be copied: bind() pops from lists in place.
+        target.handle_override = copy.deepcopy(entry.created)
+        command = copy.deepcopy(entry.command)
+        reply = target.execute(command, release_time=target.clock.now)
+        target.handle_override = None
+        if reply.error is not None:
+            raise MigrationError(
+                f"replaying {entry.command.function} failed: {reply.error}"
+            )
+        replayed += 1
+    return replayed
+
+
+def migrate_worker(
+    source: "ApiServerWorker",
+    target: "ApiServerWorker",
+) -> MigrationReport:
+    """Move one VM's device state from ``source`` to ``target``.
+
+    ``target`` must be a fresh worker (same VM id, same API, typically a
+    different physical device).  On return, every guest handle that was
+    valid against ``source`` resolves on ``target`` and buffer contents
+    match.
+    """
+    if target.handles.allocated_total:
+        raise MigrationError("target worker is not fresh")
+    if source.vm_id != target.vm_id or source.api_name != target.api_name:
+        raise MigrationError("source/target VM or API mismatch")
+
+    began = source.clock.now
+    snapshot = snapshot_buffers(source)
+    # replay begins on the target no earlier than the source suspended
+    target.clock.advance_to(source.clock.now, "migration_start")
+    replayed = replay_log(target, source.recorder)
+    restored = restore_buffers(target, snapshot)
+    # migration state carries over: the target continues the same log
+    target.recorder = source.recorder
+    return MigrationReport(
+        replayed_calls=replayed,
+        restored_buffers=restored,
+        snapshot_bytes=sum(len(p) for p in snapshot.values()),
+        downtime=target.clock.now - began,
+        source_vm=source.vm_id,
+    )

@@ -1,0 +1,26 @@
+"""A simulated Intel Movidius Neural Compute Stick and its NCSDK API.
+
+The paper's second virtualization target is the MVNC API (NCSDK v1): a
+small, coarse-grained API — open device, allocate a compiled graph, load
+input tensors, fetch inference results.  Its calls move large payloads
+and are infrequent, which is why the paper measures only ~1% forwarding
+overhead for Inception v3 on this device.
+
+The simulated device executes real (numpy, FP16) neural-network graphs
+serialized in a small self-describing format (:mod:`repro.mvnc.graph`),
+and charges virtual time from a USB3 + fixed-function-accelerator cost
+model (:mod:`repro.mvnc.device`).
+"""
+
+from repro.mvnc.device import NCSDeviceSpec, SimulatedNCS
+from repro.mvnc.graph import GraphDefinition, GraphError, Layer
+from repro.mvnc import api
+
+__all__ = [
+    "GraphDefinition",
+    "GraphError",
+    "Layer",
+    "NCSDeviceSpec",
+    "SimulatedNCS",
+    "api",
+]

@@ -1,0 +1,128 @@
+"""The simulated Neural Compute Stick device.
+
+Timing model: input and output tensors cross a USB3 link; inference runs
+on a fixed-function accelerator at a modest FP16 flop rate.  Like the
+GPU, the device owns a timeline so queued inferences serialize — the
+NCSDK model is explicitly asynchronous (``LoadTensor`` queues work,
+``GetResult`` blocks for the oldest completion).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.mvnc.graph import GraphDefinition, GraphExecutor, estimate_flops
+
+
+@dataclass(frozen=True)
+class NCSDeviceSpec:
+    """Static capabilities of the simulated stick."""
+
+    name: str = "AvA Simulated Movidius NCS"
+    #: FP16 throughput of the accelerator, flops per second
+    flops: float = 100e9
+    #: effective USB3 transfer bandwidth, bytes per second
+    usb_bandwidth: float = 350e6
+    #: fixed per-transfer USB overhead, seconds
+    usb_overhead: float = 120e-6
+    #: fixed firmware dispatch overhead per inference, seconds
+    dispatch_overhead: float = 300e-6
+    #: on-stick memory for graphs, bytes
+    graph_memory_bytes: int = 320 * 1024 * 1024
+
+
+@dataclass
+class PendingInference:
+    """One queued LoadTensor awaiting GetResult."""
+
+    output: np.ndarray
+    complete_at: float
+    user_param: Any
+
+
+class AllocatedGraph:
+    """A graph resident on the stick, with its inference FIFO."""
+
+    def __init__(self, device: "SimulatedNCS", definition: GraphDefinition,
+                 blob_size: int) -> None:
+        self.device = device
+        self.definition = definition
+        self.executor = GraphExecutor(definition)
+        self.blob_size = blob_size
+        self.flops_estimate = estimate_flops(definition)
+        self.pending: Deque[PendingInference] = deque()
+        self.options: Dict[int, Any] = {}
+        #: device time spent on this graph's inferences (profiling)
+        self.inference_time_total: float = 0.0
+        self.deallocated = False
+
+    def infer_cost(self, input_bytes: int, output_bytes: int) -> float:
+        spec = self.device.spec
+        transfer = (
+            2 * spec.usb_overhead
+            + (input_bytes + output_bytes) / spec.usb_bandwidth
+        )
+        compute = spec.dispatch_overhead + self.flops_estimate / spec.flops
+        return transfer + compute
+
+
+class SimulatedNCS:
+    """The stick: graph memory ledger plus an execution timeline."""
+
+    def __init__(self, spec: Optional[NCSDeviceSpec] = None,
+                 index: int = 0) -> None:
+        self.spec = spec or NCSDeviceSpec()
+        self.index = index
+        self.timeline: float = 0.0
+        self.busy_time: float = 0.0
+        self.graph_bytes_used: int = 0
+        self.opened = False
+
+    @property
+    def name(self) -> str:
+        return f"{self.spec.name} #{self.index}"
+
+    def allocate_graph(self, definition: GraphDefinition,
+                       blob_size: int) -> AllocatedGraph:
+        if self.graph_bytes_used + blob_size > self.spec.graph_memory_bytes:
+            raise MemoryError(
+                f"NCS graph memory exhausted: {self.graph_bytes_used} + "
+                f"{blob_size} > {self.spec.graph_memory_bytes}"
+            )
+        self.graph_bytes_used += blob_size
+        return AllocatedGraph(self, definition, blob_size)
+
+    def deallocate_graph(self, graph: AllocatedGraph) -> None:
+        if not graph.deallocated:
+            self.graph_bytes_used = max(
+                0, self.graph_bytes_used - graph.blob_size
+            )
+            graph.deallocated = True
+
+    def execute_inference(
+        self,
+        graph: AllocatedGraph,
+        input_tensor: np.ndarray,
+        not_before: float,
+        user_param: Any,
+    ) -> PendingInference:
+        """Run the network now (host truth) and queue its completion."""
+        report = graph.executor.run(input_tensor)
+        cost = graph.infer_cost(
+            input_bytes=input_tensor.nbytes,
+            output_bytes=report.output.nbytes,
+        )
+        start = max(self.timeline, not_before)
+        end = start + cost
+        self.timeline = end
+        self.busy_time += cost
+        graph.inference_time_total += cost
+        pending = PendingInference(
+            output=report.output, complete_at=end, user_param=user_param
+        )
+        graph.pending.append(pending)
+        return pending

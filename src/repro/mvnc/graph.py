@@ -1,0 +1,241 @@
+"""Neural-network graph format and executor for the simulated NCS.
+
+A "graph file" (what NCSDK's ``mvncAllocateGraph`` consumes) is, in this
+reproduction, a self-describing serialization of a feed-forward network:
+layer kinds, shapes, and FP16 weights, encoded with the project's tagged
+wire format.  The executor runs the network on numpy in float16 —
+matching the NCS's native precision — and reports the flop count so the
+device cost model can charge realistic virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.remoting.codec import decode_value, encode_value
+
+GRAPH_MAGIC = "avanc-graph-v1"
+
+#: layer kinds the executor supports
+CONV = "conv"
+POOL_MAX = "maxpool"
+POOL_AVG = "avgpool"
+DENSE = "dense"
+RELU = "relu"
+SOFTMAX = "softmax"
+FLATTEN = "flatten"
+CONCAT_BLOCK = "inception_block"
+
+
+class GraphError(Exception):
+    """Malformed graph file or shape mismatch during execution."""
+
+
+@dataclass
+class Layer:
+    """One layer: kind plus its parameters and optional weights."""
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: weight arrays by name ("w", "b", or per-branch for inception blocks)
+    weights: Dict[str, np.ndarray] = field(default_factory=dict)
+
+
+@dataclass
+class GraphDefinition:
+    """A compiled network: input shape + layer stack."""
+
+    name: str
+    input_shape: Tuple[int, ...]
+    layers: List[Layer] = field(default_factory=list)
+
+    def serialize(self) -> bytes:
+        """Encode to the graph-file bytes ``mvncAllocateGraph`` accepts."""
+        payload = {
+            "magic": GRAPH_MAGIC,
+            "name": self.name,
+            "input_shape": list(self.input_shape),
+            "layers": [
+                {
+                    "kind": layer.kind,
+                    "params": layer.params,
+                    "weights": {
+                        key: {
+                            "shape": list(array.shape),
+                            "data": array.astype(np.float16).tobytes(),
+                        }
+                        for key, array in layer.weights.items()
+                    },
+                }
+                for layer in self.layers
+            ],
+        }
+        return encode_value(payload)
+
+    @classmethod
+    def deserialize(cls, blob: bytes) -> "GraphDefinition":
+        try:
+            payload = decode_value(bytes(blob))
+        except Exception as err:
+            raise GraphError(f"not a graph file: {err}") from err
+        if not isinstance(payload, dict) or payload.get("magic") != GRAPH_MAGIC:
+            raise GraphError("bad graph magic")
+        layers = []
+        for entry in payload["layers"]:
+            weights = {
+                key: np.frombuffer(
+                    value["data"], dtype=np.float16
+                ).reshape(value["shape"]).copy()
+                for key, value in entry["weights"].items()
+            }
+            layers.append(Layer(kind=entry["kind"], params=entry["params"],
+                                weights=weights))
+        return cls(
+            name=payload["name"],
+            input_shape=tuple(payload["input_shape"]),
+            layers=layers,
+        )
+
+
+@dataclass
+class ExecutionReport:
+    """Outcome of one forward pass."""
+
+    output: np.ndarray
+    flops: float
+    layer_count: int
+
+
+def _conv2d(x: np.ndarray, w: np.ndarray, b: Optional[np.ndarray],
+            stride: int) -> Tuple[np.ndarray, float]:
+    """Valid-padding conv via im2col.  x: (H, W, Cin); w: (kh, kw, Cin, Cout)."""
+    kh, kw, cin, cout = w.shape
+    h, w_in, cx = x.shape
+    if cx != cin:
+        raise GraphError(f"conv expects {cin} channels, got {cx}")
+    oh = (h - kh) // stride + 1
+    ow = (w_in - kw) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise GraphError("conv kernel larger than input")
+    windows = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), (0, 1))
+    windows = windows[::stride, ::stride]  # (oh, ow, cin, kh, kw)
+    cols = windows.transpose(0, 1, 3, 4, 2).reshape(oh * ow, kh * kw * cin)
+    flat_w = w.reshape(kh * kw * cin, cout)
+    out = cols.astype(np.float32) @ flat_w.astype(np.float32)
+    if b is not None:
+        out = out + b.astype(np.float32)
+    flops = 2.0 * oh * ow * kh * kw * cin * cout
+    return out.reshape(oh, ow, cout).astype(np.float16), flops
+
+
+def _pool(x: np.ndarray, size: int, stride: int, op: str) -> np.ndarray:
+    h, w, c = x.shape
+    oh = (h - size) // stride + 1
+    ow = (w - size) // stride + 1
+    if oh <= 0 or ow <= 0:
+        raise GraphError("pool window larger than input")
+    windows = np.lib.stride_tricks.sliding_window_view(x, (size, size), (0, 1))
+    windows = windows[::stride, ::stride]
+    if op == POOL_MAX:
+        return windows.max(axis=(3, 4))
+    return windows.mean(axis=(3, 4), dtype=np.float32).astype(np.float16)
+
+
+class GraphExecutor:
+    """Runs a :class:`GraphDefinition` on FP16 numpy tensors."""
+
+    def __init__(self, definition: GraphDefinition) -> None:
+        self.definition = definition
+
+    def run(self, input_tensor: np.ndarray) -> ExecutionReport:
+        x = np.asarray(input_tensor, dtype=np.float16)
+        if x.shape != self.definition.input_shape:
+            raise GraphError(
+                f"input shape {x.shape} != graph input "
+                f"{self.definition.input_shape}"
+            )
+        flops = 0.0
+        for index, layer in enumerate(self.definition.layers):
+            try:
+                x, layer_flops = self._run_layer(layer, x)
+            except GraphError as err:
+                raise GraphError(f"layer {index} ({layer.kind}): {err}") from err
+            flops += layer_flops
+        return ExecutionReport(output=x, flops=flops,
+                               layer_count=len(self.definition.layers))
+
+    def _run_layer(self, layer: Layer, x: np.ndarray) -> Tuple[np.ndarray, float]:
+        kind = layer.kind
+        if kind == CONV:
+            return _conv2d(x, layer.weights["w"], layer.weights.get("b"),
+                           int(layer.params.get("stride", 1)))
+        if kind in (POOL_MAX, POOL_AVG):
+            size = int(layer.params.get("size", 2))
+            stride = int(layer.params.get("stride", size))
+            out = _pool(x, size, stride, kind)
+            return out, float(out.size * size * size)
+        if kind == RELU:
+            return np.maximum(x, 0), float(x.size)
+        if kind == FLATTEN:
+            return x.reshape(-1), 0.0
+        if kind == DENSE:
+            w = layer.weights["w"]
+            b = layer.weights.get("b")
+            if x.ndim != 1:
+                raise GraphError("dense layer needs a flat input")
+            if x.shape[0] != w.shape[0]:
+                raise GraphError(
+                    f"dense expects {w.shape[0]} inputs, got {x.shape[0]}"
+                )
+            out = x.astype(np.float32) @ w.astype(np.float32)
+            if b is not None:
+                out = out + b.astype(np.float32)
+            return out.astype(np.float16), 2.0 * w.shape[0] * w.shape[1]
+        if kind == SOFTMAX:
+            shifted = x.astype(np.float32) - float(x.max())
+            exp = np.exp(shifted)
+            return (exp / exp.sum()).astype(np.float16), float(3 * x.size)
+        if kind == CONCAT_BLOCK:
+            return self._run_inception_block(layer, x)
+        raise GraphError(f"unknown layer kind {kind!r}")
+
+    def _run_inception_block(
+        self, layer: Layer, x: np.ndarray
+    ) -> Tuple[np.ndarray, float]:
+        """Parallel 1x1 / 3x3 / pool-project branches, channel-concatenated.
+
+        Branch convs use SAME-like behaviour by requiring 1x1 or odd
+        kernels with explicit padding so outputs align.
+        """
+        branches: List[np.ndarray] = []
+        total_flops = 0.0
+        names = layer.params.get("branches")
+        if not names:
+            raise GraphError("inception block declares no branches")
+        for branch in names:
+            w = layer.weights.get(f"{branch}_w")
+            if w is None:
+                raise GraphError(f"missing weights for branch {branch!r}")
+            kh = w.shape[0]
+            pad = (kh - 1) // 2
+            padded = np.pad(x, ((pad, pad), (pad, pad), (0, 0)))
+            out, flops = _conv2d(padded, w, layer.weights.get(f"{branch}_b"),
+                                 stride=1)
+            branches.append(np.maximum(out, 0))
+            total_flops += flops
+        heights = {b.shape[0] for b in branches}
+        widths = {b.shape[1] for b in branches}
+        if len(heights) != 1 or len(widths) != 1:
+            raise GraphError("inception branch outputs do not align")
+        return np.concatenate(branches, axis=2), total_flops
+
+
+def estimate_flops(definition: GraphDefinition) -> float:
+    """Static flop estimate (used by ``mvncAllocateGraph`` to prime the
+    device cost model without running the network)."""
+    executor = GraphExecutor(definition)
+    probe = np.zeros(definition.input_shape, dtype=np.float16)
+    return executor.run(probe).flops

@@ -1,0 +1,185 @@
+"""The simulated GPU: capabilities, memory, and the timing model.
+
+The device executes kernels *for real* (vectorized numpy implementations
+looked up in the kernel registry) but charges **virtual time** from a
+roofline-style cost model: a kernel costs the maximum of its compute time
+(flops / device flop rate) and its memory time (bytes touched / device
+bandwidth), plus a fixed launch overhead.  Host↔device copies cost
+bytes / PCIe bandwidth plus a fixed DMA setup overhead.
+
+The device owns a timeline — the virtual time at which it next becomes
+free.  Queue operations serialize on it, which is what makes contention
+between VMs measurable in the scheduling experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.opencl.errors import CLError, check
+from repro.opencl import types
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static capabilities of a simulated accelerator."""
+
+    name: str = "AvA Simulated GTX 1080"
+    vendor: str = "repro"
+    device_type: int = types.CL_DEVICE_TYPE_GPU
+    compute_units: int = 20
+    clock_mhz: int = 1733
+    #: peak arithmetic throughput, single-precision flops per second
+    flops: float = 8.9e12
+    #: device-memory bandwidth, bytes per second
+    mem_bandwidth: float = 320e9
+    #: host↔device interconnect bandwidth, bytes per second (PCIe 3 x16)
+    pcie_bandwidth: float = 12e9
+    #: fixed kernel-launch overhead, seconds
+    launch_overhead: float = 5e-6
+    #: fixed DMA setup overhead per copy, seconds
+    dma_overhead: float = 8e-6
+    global_mem_bytes: int = 8 * 1024**3
+    local_mem_bytes: int = 48 * 1024
+    max_work_group_size: int = 1024
+
+    @classmethod
+    def gtx1080(cls) -> "DeviceSpec":
+        return cls()
+
+    @classmethod
+    def small_gpu(cls, mem_bytes: int = 64 * 1024**2) -> "DeviceSpec":
+        """A memory-constrained device for the swapping experiments."""
+        return cls(
+            name="AvA Simulated Small GPU",
+            global_mem_bytes=mem_bytes,
+            flops=1.0e12,
+            mem_bandwidth=80e9,
+        )
+
+
+@dataclass
+class KernelCost:
+    """Cost-model inputs declared by a registered kernel implementation."""
+
+    flops_per_item: float = 1.0
+    bytes_per_item: float = 4.0
+    #: multiplier for kernels with poor device utilization (divergence,
+    #: atomics, low occupancy); 1.0 = roofline-perfect
+    efficiency: float = 1.0
+
+
+@dataclass
+class DeviceTimer:
+    """An executed operation's placement on the device timeline."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class SimulatedGPU:
+    """A simulated accelerator with a timeline and a memory ledger.
+
+    The memory ledger only tracks *byte counts* (allocation bookkeeping
+    for out-of-memory behaviour and the swapping experiments); the actual
+    data lives in numpy arrays owned by the runtime's buffer objects.
+    """
+
+    def __init__(self, spec: Optional[DeviceSpec] = None,
+                 trace: bool = False) -> None:
+        self.spec = spec or DeviceSpec.gtx1080()
+        #: virtual time at which the device next becomes free
+        self.timeline: float = 0.0
+        self.allocated_bytes: int = 0
+        #: running total of busy device time, for utilization accounting
+        self.busy_time: float = 0.0
+        #: per-category op counters (kernels, copies) for tests/metrics
+        self.op_counts: Dict[str, int] = {}
+        #: when enabled, every executed op as (start, end, category) —
+        #: the raw material for trace-driven scheduling experiments
+        self.trace: Optional[list] = [] if trace else None
+
+    # -- memory ledger -----------------------------------------------------
+
+    def allocate(self, nbytes: int) -> None:
+        check(nbytes > 0, types.CL_INVALID_BUFFER_SIZE,
+              f"buffer size {nbytes} must be positive")
+        if self.allocated_bytes + nbytes > self.spec.global_mem_bytes:
+            raise CLError(
+                types.CL_MEM_OBJECT_ALLOCATION_FAILURE,
+                f"device memory exhausted: {self.allocated_bytes} + {nbytes} "
+                f"> {self.spec.global_mem_bytes}",
+            )
+        self.allocated_bytes += nbytes
+
+    def free(self, nbytes: int) -> None:
+        self.allocated_bytes = max(0, self.allocated_bytes - nbytes)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.spec.global_mem_bytes - self.allocated_bytes
+
+    # -- cost model ----------------------------------------------------------
+
+    def copy_cost(self, nbytes: int) -> float:
+        """Virtual seconds for a host↔device copy of ``nbytes``."""
+        if nbytes < 0:
+            raise ValueError("copy size cannot be negative")
+        return self.spec.dma_overhead + nbytes / self.spec.pcie_bandwidth
+
+    def device_copy_cost(self, nbytes: int) -> float:
+        """Virtual seconds for a device-to-device copy."""
+        if nbytes < 0:
+            raise ValueError("copy size cannot be negative")
+        # read + write through device memory
+        return self.spec.launch_overhead + 2 * nbytes / self.spec.mem_bandwidth
+
+    def kernel_cost(self, cost: KernelCost, work_items: int) -> float:
+        """Roofline estimate for one kernel launch over ``work_items``."""
+        if work_items <= 0:
+            raise ValueError("work size must be positive")
+        compute = work_items * cost.flops_per_item / self.spec.flops
+        memory = work_items * cost.bytes_per_item / self.spec.mem_bandwidth
+        busy = max(compute, memory) / max(cost.efficiency, 1e-6)
+        return self.spec.launch_overhead + busy
+
+    # -- timeline -----------------------------------------------------------
+
+    def execute(
+        self, duration: float, not_before: float, category: str = "kernel"
+    ) -> DeviceTimer:
+        """Occupy the device for ``duration``, starting no earlier than
+        ``not_before`` (the submitting queue's notion of now).
+
+        Returns the operation's start/end placement.  The device is
+        in-order: work begins when both the device is free and the
+        submission has arrived.
+        """
+        if duration < 0:
+            raise ValueError("duration cannot be negative")
+        start = max(self.timeline, not_before)
+        end = start + duration
+        self.timeline = end
+        self.busy_time += duration
+        self.op_counts[category] = self.op_counts.get(category, 0) + 1
+        if self.trace is not None:
+            self.trace.append((start, end, category))
+        return DeviceTimer(start=start, end=end)
+
+    def utilization(self, horizon: Optional[float] = None) -> float:
+        """Busy fraction over ``horizon`` (defaults to the timeline)."""
+        total = horizon if horizon is not None else self.timeline
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / total)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SimulatedGPU({self.spec.name!r}, t={self.timeline:.6f}, "
+            f"mem={self.allocated_bytes}/{self.spec.global_mem_bytes})"
+        )

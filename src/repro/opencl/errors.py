@@ -1,0 +1,25 @@
+"""Error handling for the mini-OpenCL runtime.
+
+Internally the runtime raises :class:`CLError`; the C-shaped API layer
+(:mod:`repro.opencl.api`) converts it to the numeric return-code /
+``errcode_ret`` conventions real OpenCL uses.
+"""
+
+from __future__ import annotations
+
+from repro.opencl import types
+
+
+class CLError(Exception):
+    """An OpenCL error with its numeric code."""
+
+    def __init__(self, code: int, message: str = "") -> None:
+        self.code = code
+        name = types.ERROR_NAMES.get(code, f"CL_ERROR_{code}")
+        super().__init__(f"{name}({code}){': ' + message if message else ''}")
+
+
+def check(condition: bool, code: int, message: str = "") -> None:
+    """Raise :class:`CLError` with ``code`` unless ``condition`` holds."""
+    if not condition:
+        raise CLError(code, message)

@@ -1,0 +1,15 @@
+"""A simulated Intel QuickAssist-style compression accelerator.
+
+Paper §5: "We plan to use AvA to auto-virtualize other accelerator
+APIs, including Intel QuickAssist".  This package provides that target:
+a QAT-flavoured data-compression API (instances, sessions,
+compress/decompress with caller-provided buffers — the DC subset's
+shapes) over a simulated offload engine.  Compression really happens
+(zlib), so round-trips verify; virtual time comes from an
+engine-throughput cost model.
+"""
+
+from repro.qat.device import QATDeviceSpec, SimulatedQAT
+from repro.qat import api
+
+__all__ = ["QATDeviceSpec", "SimulatedQAT", "api"]

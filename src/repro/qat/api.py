@@ -1,0 +1,231 @@
+"""The QAT-style data-compression (DC) API.
+
+Eight functions following the CPA DC shapes: discover instances, start
+one, open a session (level + direction), push compress/decompress
+requests with caller-provided source and destination buffers, read
+engine statistics.  Compression is real zlib, so corrupted marshaling
+cannot hide.
+
+Deviation from the vendor API: requests are synchronous (the CPA
+callback machinery adds nothing under AvA's interposition — the paper's
+NCS port makes the same simplification with LoadTensor/GetResult).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Sequence
+
+from repro.qat.device import SimulatedQAT
+from repro.remoting.buffers import OutBox, read_bytes, write_back
+from repro.vclock import VirtualClock
+
+CPA_STATUS_SUCCESS = 0
+CPA_STATUS_FAIL = -1
+CPA_STATUS_INVALID_PARAM = -4
+CPA_STATUS_RESOURCE = -5
+CPA_DC_OVERFLOW = -11
+CPA_DC_BAD_DATA = -12
+
+CPA_DC_DIR_COMPRESS = 0
+CPA_DC_DIR_DECOMPRESS = 1
+
+FUNCTION_NAMES = [
+    "cpaDcGetNumInstances", "cpaDcStartInstance", "cpaDcStopInstance",
+    "cpaDcInitSession", "cpaDcRemoveSession", "cpaDcCompressData",
+    "cpaDcDecompressData", "cpaDcGetStats",
+]
+
+NATIVE_CALL_OVERHEAD = 0.25e-6
+
+
+class DcSession:
+    """One compression session bound to an instance."""
+
+    def __init__(self, instance: SimulatedQAT, level: int,
+                 direction: int) -> None:
+        self.instance = instance
+        self.level = level
+        self.direction = direction
+        self.removed = False
+
+
+@dataclass
+class QATSession:
+    """Process binding of the QAT API to devices and a caller clock."""
+
+    devices: List[SimulatedQAT]
+    clock: VirtualClock = field(default_factory=lambda: VirtualClock("qatapp"))
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a QAT session needs at least one instance")
+
+
+_SESSION_STACK: List[QATSession] = []
+
+
+@contextlib.contextmanager
+def qat_session(
+    devices: Optional[Sequence[SimulatedQAT]] = None,
+    clock: Optional[VirtualClock] = None,
+) -> Iterator[QATSession]:
+    sess = QATSession(
+        devices=list(devices) if devices else [SimulatedQAT()],
+        clock=clock or VirtualClock("qatapp"),
+    )
+    _SESSION_STACK.append(sess)
+    try:
+        yield sess
+    finally:
+        _SESSION_STACK.pop()
+
+
+def current_qat_session() -> QATSession:
+    if not _SESSION_STACK:
+        raise RuntimeError(
+            "no QAT session active; wrap calls in `with qat_session(...)`"
+        )
+    return _SESSION_STACK[-1]
+
+
+def _session() -> QATSession:
+    sess = current_qat_session()
+    sess.clock.advance(NATIVE_CALL_OVERHEAD, "api_call")
+    return sess
+
+
+def _set_box(box: Optional[OutBox], value: Any) -> None:
+    if box is not None:
+        box[0] = value
+
+
+# ---------------------------------------------------------------------------
+# instances
+# ---------------------------------------------------------------------------
+
+
+def cpaDcGetNumInstances(num_instances: OutBox) -> int:
+    sess = _session()
+    if num_instances is None:
+        return CPA_STATUS_INVALID_PARAM
+    _set_box(num_instances, len(sess.devices))
+    return CPA_STATUS_SUCCESS
+
+
+def cpaDcStartInstance(index: int, instance: OutBox) -> int:
+    sess = _session()
+    if instance is None or not 0 <= int(index) < len(sess.devices):
+        return CPA_STATUS_INVALID_PARAM
+    device = sess.devices[int(index)]
+    if device.started:
+        return CPA_STATUS_RESOURCE
+    device.started = True
+    _set_box(instance, device)
+    return CPA_STATUS_SUCCESS
+
+
+def cpaDcStopInstance(instance: Any) -> int:
+    _session()
+    if not isinstance(instance, SimulatedQAT) or not instance.started:
+        return CPA_STATUS_INVALID_PARAM
+    if instance.session_count:
+        return CPA_STATUS_RESOURCE  # sessions still open
+    instance.started = False
+    return CPA_STATUS_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# sessions
+# ---------------------------------------------------------------------------
+
+
+def cpaDcInitSession(instance: Any, session: OutBox, level: int,
+                     direction: int) -> int:
+    _session()
+    if not isinstance(instance, SimulatedQAT) or session is None:
+        return CPA_STATUS_INVALID_PARAM
+    if not instance.started:
+        return CPA_STATUS_RESOURCE
+    if not 1 <= int(level) <= 9:
+        return CPA_STATUS_INVALID_PARAM
+    if direction not in (CPA_DC_DIR_COMPRESS, CPA_DC_DIR_DECOMPRESS):
+        return CPA_STATUS_INVALID_PARAM
+    if instance.session_count >= instance.spec.max_sessions:
+        return CPA_STATUS_RESOURCE
+    instance.session_count += 1
+    _set_box(session, DcSession(instance, int(level), int(direction)))
+    return CPA_STATUS_SUCCESS
+
+
+def cpaDcRemoveSession(session: Any) -> int:
+    _session()
+    if not isinstance(session, DcSession) or session.removed:
+        return CPA_STATUS_INVALID_PARAM
+    session.removed = True
+    session.instance.session_count -= 1
+    return CPA_STATUS_SUCCESS
+
+
+# ---------------------------------------------------------------------------
+# data path
+# ---------------------------------------------------------------------------
+
+
+def _run_request(session: DcSession, src: Any, src_size: int, dst: Any,
+                 dst_capacity: int, produced: OutBox,
+                 decompress: bool) -> int:
+    sess = _session()
+    if not isinstance(session, DcSession) or session.removed:
+        return CPA_STATUS_INVALID_PARAM
+    if src is None or dst is None or produced is None:
+        return CPA_STATUS_INVALID_PARAM
+    expected = (CPA_DC_DIR_DECOMPRESS if decompress
+                else CPA_DC_DIR_COMPRESS)
+    if session.direction != expected:
+        return CPA_STATUS_INVALID_PARAM
+    payload = read_bytes(src, limit=int(src_size))
+    if len(payload) < int(src_size):
+        return CPA_STATUS_INVALID_PARAM
+    try:
+        if decompress:
+            result = zlib.decompress(payload)
+        else:
+            result = zlib.compress(payload, session.level)
+    except zlib.error:
+        return CPA_DC_BAD_DATA
+    if len(result) > int(dst_capacity):
+        return CPA_DC_OVERFLOW
+    write_back(dst, result)
+    _set_box(produced, len(result))
+    end = session.instance.execute(
+        input_bytes=len(payload), output_bytes=len(result),
+        not_before=sess.clock.now, decompress=decompress,
+    )
+    sess.clock.advance_to(end, "dc_wait")
+    return CPA_STATUS_SUCCESS
+
+
+def cpaDcCompressData(session: Any, src: Any, src_size: int, dst: Any,
+                      dst_capacity: int, produced: OutBox) -> int:
+    return _run_request(session, src, src_size, dst, dst_capacity,
+                        produced, decompress=False)
+
+
+def cpaDcDecompressData(session: Any, src: Any, src_size: int, dst: Any,
+                        dst_capacity: int, produced: OutBox) -> int:
+    return _run_request(session, src, src_size, dst, dst_capacity,
+                        produced, decompress=True)
+
+
+def cpaDcGetStats(instance: Any, bytes_consumed: OutBox,
+                  bytes_produced: OutBox, num_requests: OutBox) -> int:
+    _session()
+    if not isinstance(instance, SimulatedQAT):
+        return CPA_STATUS_INVALID_PARAM
+    _set_box(bytes_consumed, instance.bytes_consumed)
+    _set_box(bytes_produced, instance.bytes_produced)
+    _set_box(num_requests, instance.requests)
+    return CPA_STATUS_SUCCESS

@@ -1,0 +1,61 @@
+"""The simulated QuickAssist offload engine.
+
+Timing model: a fixed per-request setup cost (descriptor + doorbell on
+the real part) plus input bytes over the engine's compress or decompress
+throughput.  Like the other devices, the engine owns a timeline so
+concurrent guests serialize on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QATDeviceSpec:
+    """Static capabilities of the simulated engine."""
+
+    name: str = "AvA Simulated QuickAssist DC"
+    #: compression throughput, input bytes per second
+    compress_bps: float = 4e9
+    #: decompression throughput, input bytes per second
+    decompress_bps: float = 8e9
+    #: fixed per-request overhead, seconds
+    request_overhead: float = 6e-6
+    #: concurrent session limit per instance
+    max_sessions: int = 64
+
+
+class SimulatedQAT:
+    """One QAT instance: a timeline plus request statistics."""
+
+    def __init__(self, spec: QATDeviceSpec = QATDeviceSpec(),
+                 index: int = 0) -> None:
+        self.spec = spec
+        self.index = index
+        self.timeline: float = 0.0
+        self.busy_time: float = 0.0
+        self.started = False
+        self.session_count = 0
+        # statistics exposed via cpaDcGetStats
+        self.bytes_consumed = 0
+        self.bytes_produced = 0
+        self.requests = 0
+
+    def request_cost(self, input_bytes: int, decompress: bool) -> float:
+        rate = (self.spec.decompress_bps if decompress
+                else self.spec.compress_bps)
+        return self.spec.request_overhead + input_bytes / rate
+
+    def execute(self, input_bytes: int, output_bytes: int,
+                not_before: float, decompress: bool) -> float:
+        """Occupy the engine for one request; returns completion time."""
+        cost = self.request_cost(input_bytes, decompress)
+        start = max(self.timeline, not_before)
+        end = start + cost
+        self.timeline = end
+        self.busy_time += cost
+        self.bytes_consumed += input_bytes
+        self.bytes_produced += output_bytes
+        self.requests += 1
+        return end

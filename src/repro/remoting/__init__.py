@@ -1,0 +1,29 @@
+"""API-agnostic remoting runtime: wire codec, buffers, handle tables.
+
+These are the pieces of AvA that do *not* depend on which accelerator API
+is being virtualized.  CAvA-generated guest and server modules call into
+them; the hypervisor transport moves the encoded messages they produce.
+"""
+
+from repro.remoting.buffers import OutBox, as_byte_view, byte_size_of
+from repro.remoting.codec import (
+    Command,
+    Reply,
+    WireCodec,
+    decode_message,
+    encode_message,
+)
+from repro.remoting.handles import HandleError, HandleTable
+
+__all__ = [
+    "Command",
+    "HandleError",
+    "HandleTable",
+    "OutBox",
+    "Reply",
+    "WireCodec",
+    "as_byte_view",
+    "byte_size_of",
+    "decode_message",
+    "encode_message",
+]

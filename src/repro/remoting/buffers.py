@@ -1,0 +1,108 @@
+"""Buffer helpers shared by guest stubs and the API server.
+
+The generated code works with three buffer shapes:
+
+* **numpy arrays** — the common case for compute data,
+* **bytes / bytearray / memoryview** — raw payloads,
+* **OutBox** — a single-slot container for out-parameters whose value is
+  an opaque handle or scalar written back by the call (the Python stand-in
+  for C's ``cl_event *event``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+
+class OutBox(list):
+    """A one-slot mutable cell for scalar/handle out-parameters.
+
+    Guest code allocates ``box = OutBox()`` and passes it where the C API
+    takes ``T *out``; after the call, ``box.value`` holds the result.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__([value])
+
+    @property
+    def value(self) -> Any:
+        return self[0]
+
+    @value.setter
+    def value(self, new_value: Any) -> None:
+        self[0] = new_value
+
+
+def byte_size_of(obj: Any) -> int:
+    """The payload size of a buffer-like object in bytes."""
+    if obj is None:
+        return 0
+    if isinstance(obj, np.ndarray):
+        return int(obj.nbytes)
+    if isinstance(obj, (bytes, bytearray, memoryview)):
+        return len(obj)
+    if isinstance(obj, str):
+        return len(obj.encode("utf-8"))
+    if isinstance(obj, OutBox):
+        return 8
+    raise TypeError(f"not a buffer-like object: {type(obj).__name__}")
+
+
+def as_byte_view(obj: Any) -> memoryview:
+    """A writable byte view over a buffer-like object.
+
+    Used by the guest runtime to copy reply payloads into the caller's
+    out-buffers in place, matching the C API's semantics.
+    """
+    if isinstance(obj, np.ndarray):
+        if not obj.flags.writeable:
+            raise ValueError("out-buffer array is read-only")
+        return memoryview(obj.reshape(-1).view(np.uint8))
+    if isinstance(obj, bytearray):
+        return memoryview(obj)
+    if isinstance(obj, memoryview):
+        if obj.readonly:
+            raise ValueError("out-buffer memoryview is read-only")
+        return obj.cast("B")
+    raise TypeError(
+        f"cannot write into {type(obj).__name__}; out-buffers must be "
+        "numpy arrays, bytearrays, or writable memoryviews"
+    )
+
+
+def read_bytes(obj: Any, limit: Optional[int] = None) -> bytes:
+    """Serialize an input buffer to bytes (truncated to ``limit``)."""
+    if obj is None:
+        return b""
+    if isinstance(obj, np.ndarray):
+        data = obj.tobytes()
+    elif isinstance(obj, (bytes, bytearray)):
+        data = bytes(obj)
+    elif isinstance(obj, memoryview):
+        data = obj.tobytes()
+    elif isinstance(obj, str):
+        data = obj.encode("utf-8")
+    else:
+        raise TypeError(f"not a buffer-like object: {type(obj).__name__}")
+    if limit is not None:
+        if limit < 0:
+            raise ValueError("buffer size expression evaluated negative")
+        data = data[:limit]
+    return data
+
+
+def write_back(target: Any, payload: bytes) -> None:
+    """Copy ``payload`` into ``target`` in place (C out-buffer semantics).
+
+    The payload may be shorter than the target (partial reads are legal);
+    longer payloads indicate a marshaling bug and raise.
+    """
+    view = as_byte_view(target)
+    if len(payload) > len(view):
+        raise ValueError(
+            f"reply payload ({len(payload)} B) exceeds the caller's "
+            f"out-buffer ({len(view)} B)"
+        )
+    view[: len(payload)] = payload

@@ -1,0 +1,334 @@
+"""Wire format for forwarded API calls.
+
+A forwarded invocation crosses the guest/hypervisor/host boundary as a
+:class:`Command`; the host answers with a :class:`Reply`.  Both have an
+explicit self-describing binary encoding (no pickle — the router must be
+able to treat guest input as untrusted data), implemented as a small
+tagged-value format:
+
+========  =======================================
+tag byte  payload
+========  =======================================
+``N``     None
+``T``     true / ``F`` false
+``I``     int64 (big endian)
+``D``     float64
+``S``     utf-8 string  (u32 length prefix)
+``B``     raw bytes     (u32 length prefix)
+``L``     list          (u32 count, then items)
+``M``     dict[str, v]  (u32 count, then pairs)
+========  =======================================
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class CodecError(Exception):
+    """Malformed wire data."""
+
+
+# ---------------------------------------------------------------------------
+# tagged-value encoding
+# ---------------------------------------------------------------------------
+
+_U32 = struct.Struct(">I")
+_I64 = struct.Struct(">q")
+_F64 = struct.Struct(">d")
+
+
+def _encode_value(value: Any, out: List[bytes]) -> None:
+    if value is None:
+        out.append(b"N")
+    elif value is True:
+        out.append(b"T")
+    elif value is False:
+        out.append(b"F")
+    elif isinstance(value, int):
+        out.append(b"I")
+        out.append(_I64.pack(value))
+    elif isinstance(value, float):
+        out.append(b"D")
+        out.append(_F64.pack(value))
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(b"S")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out.append(b"B")
+        out.append(_U32.pack(len(data)))
+        out.append(data)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"L")
+        out.append(_U32.pack(len(value)))
+        for item in value:
+            _encode_value(item, out)
+    elif isinstance(value, dict):
+        out.append(b"M")
+        out.append(_U32.pack(len(value)))
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise CodecError(f"dict keys must be str, got {type(key).__name__}")
+            data = key.encode("utf-8")
+            out.append(_U32.pack(len(data)))
+            out.append(data)
+            _encode_value(item, out)
+    else:
+        raise CodecError(f"cannot encode {type(value).__name__} on the wire")
+
+
+def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+    if offset >= len(data):
+        raise CodecError("truncated wire data")
+    tag = data[offset:offset + 1]
+    offset += 1
+    if tag == b"N":
+        return None, offset
+    if tag == b"T":
+        return True, offset
+    if tag == b"F":
+        return False, offset
+    if tag == b"I":
+        (value,) = _I64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag == b"D":
+        (value,) = _F64.unpack_from(data, offset)
+        return value, offset + 8
+    if tag in (b"S", b"B"):
+        (length,) = _U32.unpack_from(data, offset)
+        offset += 4
+        chunk = data[offset:offset + length]
+        if len(chunk) != length:
+            raise CodecError("truncated string/bytes payload")
+        offset += length
+        return (chunk.decode("utf-8") if tag == b"S" else chunk), offset
+    if tag == b"L":
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        items = []
+        for _ in range(count):
+            item, offset = _decode_value(data, offset)
+            items.append(item)
+        return items, offset
+    if tag == b"M":
+        (count,) = _U32.unpack_from(data, offset)
+        offset += 4
+        result: Dict[str, Any] = {}
+        for _ in range(count):
+            (key_len,) = _U32.unpack_from(data, offset)
+            offset += 4
+            key = data[offset:offset + key_len].decode("utf-8")
+            offset += key_len
+            value, offset = _decode_value(data, offset)
+            result[key] = value
+        return result, offset
+    raise CodecError(f"unknown wire tag {tag!r}")
+
+
+def encode_value(value: Any) -> bytes:
+    """Encode one value in the tagged wire format."""
+    out: List[bytes] = []
+    _encode_value(value, out)
+    return b"".join(out)
+
+
+def decode_value(data: bytes) -> Any:
+    """Decode one value; trailing bytes are an error.
+
+    This is a trust boundary: the bytes come from guests.  Every
+    malformation — truncated fields, invalid UTF-8, bad tags — must
+    surface as :class:`CodecError`, never as a raw library exception
+    that could escape the router's handler.
+    """
+    try:
+        value, offset = _decode_value(data, 0)
+    except (struct.error, UnicodeDecodeError, OverflowError) as err:
+        raise CodecError(f"malformed wire data: {err}") from err
+    if offset != len(data):
+        raise CodecError(f"{len(data) - offset} trailing bytes after value")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# commands and replies
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Command:
+    """One forwarded API invocation, guest → host."""
+
+    seq: int
+    vm_id: str
+    api: str
+    function: str
+    #: "sync" or "async" — resolved by the guest stub from the spec
+    mode: str = "sync"
+    #: scalar arguments by parameter name (ints, floats, bools, strings)
+    scalars: Dict[str, Any] = field(default_factory=dict)
+    #: handle arguments: guest ids (int), lists of ids, or None
+    handles: Dict[str, Any] = field(default_factory=dict)
+    #: input buffer payloads, already serialized
+    in_buffers: Dict[str, bytes] = field(default_factory=dict)
+    #: declared byte sizes of output buffers the host must fill
+    out_sizes: Dict[str, int] = field(default_factory=dict)
+    #: guest virtual time at which the command was issued
+    issue_time: float = 0.0
+
+    def payload_bytes(self) -> int:
+        """Bytes of bulk payload carried guest → host."""
+        return sum(len(chunk) for chunk in self.in_buffers.values())
+
+    def to_wire_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "vm": self.vm_id,
+            "api": self.api,
+            "fn": self.function,
+            "mode": self.mode,
+            "scalars": self.scalars,
+            "handles": self.handles,
+            "inbufs": self.in_buffers,
+            "outsz": self.out_sizes,
+            "t": self.issue_time,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: Dict[str, Any]) -> "Command":
+        try:
+            return cls(
+                seq=data["seq"],
+                vm_id=data["vm"],
+                api=data["api"],
+                function=data["fn"],
+                mode=data["mode"],
+                scalars=data["scalars"],
+                handles=data["handles"],
+                in_buffers={k: bytes(v) for k, v in data["inbufs"].items()},
+                out_sizes=data["outsz"],
+                issue_time=data["t"],
+            )
+        except KeyError as missing:
+            raise CodecError(f"command missing field {missing}") from None
+
+
+@dataclass
+class Reply:
+    """The host's answer to one :class:`Command`."""
+
+    seq: int
+    return_value: Any = None
+    #: filled output buffers by parameter name
+    out_payloads: Dict[str, bytes] = field(default_factory=dict)
+    #: scalar out-parameters (OutBox results) by parameter name
+    out_scalars: Dict[str, Any] = field(default_factory=dict)
+    #: freshly allocated handles by parameter name (id or list of ids)
+    new_handles: Dict[str, Any] = field(default_factory=dict)
+    #: deferred guest-callback invocations: [callback_id, [scalar args]]
+    callbacks: List[Any] = field(default_factory=list)
+    #: host-side failure (exception text); None on success
+    error: Optional[str] = None
+    #: host virtual time at which execution completed
+    complete_time: float = 0.0
+
+    def payload_bytes(self) -> int:
+        """Bytes of bulk payload carried host → guest."""
+        return sum(len(chunk) for chunk in self.out_payloads.values())
+
+    def to_wire_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "ret": self.return_value,
+            "outs": self.out_payloads,
+            "oscal": self.out_scalars,
+            "new": self.new_handles,
+            "cbs": self.callbacks,
+            "err": self.error,
+            "t": self.complete_time,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: Dict[str, Any]) -> "Reply":
+        try:
+            return cls(
+                seq=data["seq"],
+                return_value=data["ret"],
+                out_payloads={k: bytes(v) for k, v in data["outs"].items()},
+                out_scalars=data["oscal"],
+                new_handles=data["new"],
+                callbacks=data.get("cbs", []),
+                error=data["err"],
+                complete_time=data["t"],
+            )
+        except KeyError as missing:
+            raise CodecError(f"reply missing field {missing}") from None
+
+
+_COMMAND_MAGIC = b"\xabC"
+_REPLY_MAGIC = b"\xabR"
+
+
+def encode_message(message: Any) -> bytes:
+    """Encode a Command or Reply to self-delimiting wire bytes."""
+    if isinstance(message, Command):
+        body = encode_value(message.to_wire_dict())
+        return _COMMAND_MAGIC + _U32.pack(len(body)) + body
+    if isinstance(message, Reply):
+        body = encode_value(message.to_wire_dict())
+        return _REPLY_MAGIC + _U32.pack(len(body)) + body
+    raise CodecError(f"cannot encode {type(message).__name__} as a message")
+
+
+def decode_message(data: bytes) -> Any:
+    """Decode wire bytes produced by :func:`encode_message`.
+
+    Like :func:`decode_value`, a trust boundary: any malformation raises
+    :class:`CodecError`.
+    """
+    if len(data) < 6:
+        raise CodecError("message too short")
+    magic, (length,) = data[:2], _U32.unpack_from(data, 2)
+    body = data[6:6 + length]
+    if len(body) != length:
+        raise CodecError("truncated message body")
+    decoded = decode_value(body)
+    try:
+        if magic == _COMMAND_MAGIC:
+            return Command.from_wire_dict(decoded)
+        if magic == _REPLY_MAGIC:
+            return Reply.from_wire_dict(decoded)
+    except (TypeError, AttributeError, ValueError) as err:
+        raise CodecError(f"malformed message fields: {err}") from err
+    raise CodecError(f"bad message magic {magic!r}")
+
+
+class WireCodec:
+    """Stateful framing helper for stream transports (sockets).
+
+    Feed raw stream chunks in with :meth:`feed`; complete messages pop
+    out of :meth:`messages`.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, chunk: bytes) -> None:
+        self._buffer.extend(chunk)
+
+    def messages(self) -> List[Any]:
+        """Drain and decode all complete messages buffered so far."""
+        result = []
+        while len(self._buffer) >= 6:
+            (length,) = _U32.unpack_from(self._buffer, 2)
+            total = 6 + length
+            if len(self._buffer) < total:
+                break
+            frame = bytes(self._buffer[:total])
+            del self._buffer[:total]
+            result.append(decode_message(frame))
+        return result

@@ -1,0 +1,24 @@
+"""The host-side API server: per-VM workers, dispatch, memory swapping.
+
+One :class:`~repro.server.api_server.ApiServerWorker` exists per (VM,
+API) pair — the paper's "non-privileged host process" giving process-
+level isolation between guests' device contexts.  Workers execute the
+CAvA-generated server stubs against the native API with a per-VM handle
+table, record annotated calls for migration, and host the
+buffer-granularity swap manager.
+"""
+
+from repro.server.api_server import ApiServerWorker, WorkerError
+from repro.server.swap import (
+    ObjectSwapManager,
+    PageSwapManager,
+    SwapStats,
+)
+
+__all__ = [
+    "ApiServerWorker",
+    "ObjectSwapManager",
+    "PageSwapManager",
+    "SwapStats",
+    "WorkerError",
+]

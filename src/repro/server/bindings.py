@@ -1,0 +1,144 @@
+"""Native-session binders: how workers enter the accelerator silo.
+
+A worker executes generated server stubs that call the native API
+(:mod:`repro.opencl.api` or :mod:`repro.mvnc.api`).  Those APIs resolve
+state through a session stack; each worker needs *one persistent
+session* (its objects — contexts, queues, graphs — live across
+commands) that is pushed around every dispatched command.  The binders
+here create that session lazily, bound to the worker's clock and handle
+table, and optionally with AvA's swap memory-manager installed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, ContextManager, Iterator, List, Optional, Sequence
+
+from repro.opencl.device import SimulatedGPU
+from repro.opencl.runtime import MemoryManager, Session, pop_session, push_session
+from repro.mvnc.api import NCSSession, _SESSION_STACK as _NCS_STACK
+from repro.mvnc.device import SimulatedNCS
+from repro.server.api_server import ApiServerWorker
+
+
+def opencl_session_binder(
+    devices_factory: Callable[[], List[SimulatedGPU]],
+    memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
+) -> Callable[[ApiServerWorker], Callable[[ApiServerWorker], ContextManager]]:
+    """Binder for OpenCL workers.
+
+    ``devices_factory`` is called once per worker, so each worker can get
+    a dedicated simulated GPU (the measurement configuration) or share
+    one list across workers (the consolidation configuration).
+    """
+
+    def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
+        session = Session(
+            devices=devices_factory(),
+            clock=worker.clock,
+            handle_resolver=worker.handles.lookup,
+            memory_manager=(
+                memory_manager_factory() if memory_manager_factory
+                else MemoryManager()
+            ),
+        )
+        worker.native_session = session  # introspection for tests/migration
+
+        @contextlib.contextmanager
+        def factory(_worker: ApiServerWorker) -> Iterator[Session]:
+            push_session(session)
+            try:
+                yield session
+            finally:
+                pop_session()
+
+        return factory
+
+    return bind
+
+
+def mvnc_session_binder(
+    devices_factory: Callable[[], List[SimulatedNCS]],
+) -> Callable[[ApiServerWorker], Callable[[ApiServerWorker], ContextManager]]:
+    """Binder for MVNC workers (one persistent NCS session per worker)."""
+
+    def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
+        session = NCSSession(devices=devices_factory(), clock=worker.clock)
+        worker.native_session = session
+
+        @contextlib.contextmanager
+        def factory(_worker: ApiServerWorker) -> Iterator[NCSSession]:
+            _NCS_STACK.append(session)
+            try:
+                yield session
+            finally:
+                _NCS_STACK.pop()
+
+        return factory
+
+    return bind
+
+
+def qat_session_binder(
+    devices_factory: Callable[[], List],
+) -> Callable[[ApiServerWorker], Callable[[ApiServerWorker], ContextManager]]:
+    """Binder for QuickAssist workers (one persistent QAT session)."""
+    from repro.qat.api import QATSession, _SESSION_STACK as _QAT_STACK
+
+    def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
+        session = QATSession(devices=devices_factory(), clock=worker.clock)
+        worker.native_session = session
+
+        @contextlib.contextmanager
+        def factory(_worker: ApiServerWorker) -> Iterator[QATSession]:
+            _QAT_STACK.append(session)
+            try:
+                yield session
+            finally:
+                _QAT_STACK.pop()
+
+        return factory
+
+    return bind
+
+
+def tpu_session_binder(
+    devices_factory: Callable[[], List],
+) -> Callable[[ApiServerWorker], Callable[[ApiServerWorker], ContextManager]]:
+    """Binder for TPU workers (one persistent TPU session)."""
+    from repro.tpu.api import TPUSession, _SESSION_STACK as _TPU_STACK
+
+    def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
+        session = TPUSession(devices=devices_factory(), clock=worker.clock)
+        worker.native_session = session
+
+        @contextlib.contextmanager
+        def factory(_worker: ApiServerWorker) -> Iterator[TPUSession]:
+            _TPU_STACK.append(session)
+            try:
+                yield session
+            finally:
+                _TPU_STACK.pop()
+
+        return factory
+
+    return bind
+
+
+def shared_devices(devices: Sequence) -> Callable[[], List]:
+    """A devices_factory that shares one device list across workers."""
+    frozen = list(devices)
+
+    def factory() -> List:
+        return frozen
+
+    return factory
+
+
+def private_device(device_factory: Callable[[], object]) -> Callable[[], List]:
+    """A devices_factory giving each worker its own fresh device."""
+
+    def factory() -> List:
+        return [device_factory()]
+
+    return factory

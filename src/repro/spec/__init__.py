@@ -1,0 +1,45 @@
+"""CAvA API specification language.
+
+This package implements the declarative specification language from the
+paper's Figure 4: a spec file embeds C-style function declarations whose
+bodies carry annotations (sync/async policy, parameter directions, buffer
+size expressions, handle lifecycle, resource-cost estimates).  It also
+implements a mini C-declaration parser so CAvA can produce a *preliminary*
+spec from an unmodified header, which the developer then refines.
+"""
+
+from repro.spec.errors import SpecError, SpecSyntaxError, SpecSemanticError
+from repro.spec.model import (
+    ApiSpec,
+    CType,
+    Direction,
+    FunctionSpec,
+    ParamSpec,
+    RecordKind,
+    SyncMode,
+    SyncPolicy,
+    TypeSpec,
+)
+from repro.spec.parser import parse_spec, parse_spec_file
+from repro.spec.cparser import parse_header, parse_header_file
+from repro.spec.infer import infer_preliminary_spec
+
+__all__ = [
+    "ApiSpec",
+    "CType",
+    "Direction",
+    "FunctionSpec",
+    "ParamSpec",
+    "RecordKind",
+    "SpecError",
+    "SpecSemanticError",
+    "SpecSyntaxError",
+    "SyncMode",
+    "SyncPolicy",
+    "TypeSpec",
+    "infer_preliminary_spec",
+    "parse_header",
+    "parse_header_file",
+    "parse_spec",
+    "parse_spec_file",
+]

@@ -1,0 +1,267 @@
+"""A mini C-declaration parser for accelerator API headers.
+
+CAvA's input is the API's unmodified C header.  This parser handles the
+subset of C that appears in framework headers like ``CL/cl.h``:
+
+* ``#define NAME <integer>`` constants,
+* ``typedef`` declarations — including the opaque-handle idiom
+  ``typedef struct _cl_mem *cl_mem;`` and scalar aliases
+  ``typedef unsigned int cl_uint;``,
+* function prototypes with ``const`` and pointer parameters.
+
+It does **not** attempt to be a full C front end; constructs outside the
+subset raise :class:`SpecSyntaxError` so problems are loud, not silent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.spec.errors import SpecSyntaxError
+from repro.spec.lexer import DIRECTIVE, EOF, IDENT, NUMBER, PUNCT, Token, tokenize
+from repro.spec.model import CType
+
+#: multi-word scalar type prefixes we fold into a single base name
+_TYPE_QUALIFIER_WORDS = {"unsigned", "signed", "long", "short", "struct"}
+
+_SCALAR_SIZES = {
+    "char": 1,
+    "unsigned char": 1,
+    "short": 2,
+    "unsigned short": 2,
+    "int": 4,
+    "unsigned int": 4,
+    "unsigned": 4,
+    "long": 8,
+    "unsigned long": 8,
+    "long long": 8,
+    "unsigned long long": 8,
+    "float": 4,
+    "double": 8,
+    "size_t": 8,
+    "void": 0,
+}
+
+
+@dataclass
+class TypedefInfo:
+    """One ``typedef`` from the header."""
+
+    name: str
+    underlying: CType
+    #: True for ``typedef struct _x *name;`` — an opaque handle
+    is_struct_pointer: bool = False
+
+    @property
+    def size_bytes(self) -> int:
+        if self.is_struct_pointer or self.underlying.is_pointer:
+            return 8
+        return _SCALAR_SIZES.get(self.underlying.base, 4)
+
+
+@dataclass
+class FunctionDecl:
+    """One function prototype from the header."""
+
+    name: str
+    return_type: CType
+    params: List[Tuple[str, CType]] = field(default_factory=list)
+
+
+@dataclass
+class HeaderInfo:
+    """Everything extracted from a parsed header."""
+
+    filename: Optional[str] = None
+    constants: Dict[str, float] = field(default_factory=dict)
+    typedefs: Dict[str, TypedefInfo] = field(default_factory=dict)
+    functions: List[FunctionDecl] = field(default_factory=list)
+
+    def is_handle_type(self, name: str) -> bool:
+        info = self.typedefs.get(name)
+        return bool(info and info.is_struct_pointer)
+
+    def sizeof(self, name: str) -> int:
+        info = self.typedefs.get(name)
+        if info is not None:
+            return info.size_bytes
+        return _SCALAR_SIZES.get(name, 8)
+
+
+class _HeaderParser:
+    def __init__(self, tokens: List[Token], filename: Optional[str]) -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.info = HeaderInfo(filename=filename)
+
+    # -- token helpers ----------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def _advance(self) -> Token:
+        token = self.tokens[self.index]
+        if token.kind != EOF:
+            self.index += 1
+        return token
+
+    def _expect_punct(self, value: str) -> Token:
+        token = self._peek()
+        if not token.is_punct(value):
+            raise SpecSyntaxError(
+                f"expected {value!r}, found {token.value!r}",
+                line=token.line,
+                column=token.column,
+                filename=self.info.filename,
+            )
+        return self._advance()
+
+    def _error(self, message: str) -> SpecSyntaxError:
+        token = self._peek()
+        return SpecSyntaxError(
+            message,
+            line=token.line,
+            column=token.column,
+            filename=self.info.filename,
+        )
+
+    # -- grammar -----------------------------------------------------------
+
+    def parse(self) -> HeaderInfo:
+        while self._peek().kind != EOF:
+            token = self._peek()
+            if token.kind == DIRECTIVE:
+                self._advance()
+                self._handle_directive(token.value)
+            elif token.is_ident("typedef"):
+                self._parse_typedef()
+            elif token.is_punct(";"):
+                self._advance()
+            else:
+                self._parse_function_decl()
+        return self.info
+
+    def _handle_directive(self, text: str) -> None:
+        parts = text.split(None, 2)
+        if not parts:
+            return
+        if parts[0] in ("#define",) and len(parts) >= 3:
+            name, value = parts[1], parts[2].strip()
+            # Only plain numeric defines become constants; function-like
+            # macros and non-numeric values are ignored (not needed by
+            # any spec we ship, and guessing would be worse than skipping).
+            if "(" in name:
+                return
+            try:
+                self.info.constants[name] = float(int(value, 0))
+            except ValueError:
+                try:
+                    self.info.constants[name] = float(value)
+                except ValueError:
+                    pass
+        # #include / #ifndef / #pragma etc. are structural noise here.
+
+    def _parse_base_type(self) -> Tuple[str, bool]:
+        """Parse a base type name; returns (name, is_struct)."""
+        is_const = False
+        while self._peek().is_ident("const"):
+            is_const = True
+            self._advance()
+        token = self._peek()
+        if token.kind != IDENT:
+            raise self._error(f"expected type name, found {token.value!r}")
+        words = [self._advance().value]
+        if words[0] == "struct":
+            tag = self._peek()
+            if tag.kind != IDENT:
+                raise self._error("expected struct tag")
+            words.append(self._advance().value)
+            return " ".join(words), is_const
+        continuations = {"int", "char", "long", "short", "double", "float"}
+        while (
+            words[-1] in _TYPE_QUALIFIER_WORDS
+            and self._peek().kind == IDENT
+            and self._peek().value in continuations
+        ):
+            words.append(self._advance().value)
+        return " ".join(words), is_const
+
+    def _parse_type_and_name(self) -> Tuple[CType, Optional[str]]:
+        """Parse ``const base ** name`` — name may be absent (prototypes)."""
+        base, is_const = self._parse_base_type()
+        # const may also appear after the base type
+        while self._peek().is_ident("const"):
+            is_const = True
+            self._advance()
+        depth = 0
+        while self._peek().is_punct("*"):
+            depth += 1
+            self._advance()
+            while self._peek().is_ident("const"):
+                self._advance()
+        name: Optional[str] = None
+        if self._peek().kind == IDENT:
+            name = self._advance().value
+        # trailing array suffix: treat T name[] / T name[N] as pointer
+        while self._peek().is_punct("["):
+            self._advance()
+            while not self._peek().is_punct("]"):
+                if self._peek().kind == EOF:
+                    raise self._error("unterminated array suffix")
+                self._advance()
+            self._advance()
+            depth += 1
+        return CType(base, depth, is_const), name
+
+    def _parse_typedef(self) -> None:
+        self._advance()  # 'typedef'
+        ctype, name = self._parse_type_and_name()
+        if name is None:
+            raise self._error("typedef requires a name")
+        self._expect_punct(";")
+        is_struct_pointer = ctype.base.startswith("struct ") and ctype.is_pointer
+        underlying = ctype
+        self.info.typedefs[name] = TypedefInfo(
+            name=name,
+            underlying=underlying,
+            is_struct_pointer=is_struct_pointer,
+        )
+
+    def _parse_function_decl(self) -> None:
+        return_type, name = self._parse_type_and_name()
+        if name is None:
+            raise self._error("expected function name")
+        self._expect_punct("(")
+        params: List[Tuple[str, CType]] = []
+        if not self._peek().is_punct(")"):
+            while True:
+                if self._peek().is_ident("void") and self._peek(1).is_punct(")"):
+                    self._advance()
+                    break
+                ptype, pname = self._parse_type_and_name()
+                if pname is None:
+                    pname = f"arg{len(params)}"
+                params.append((pname, ptype))
+                if self._peek().is_punct(","):
+                    self._advance()
+                    continue
+                break
+        self._expect_punct(")")
+        self._expect_punct(";")
+        self.info.functions.append(
+            FunctionDecl(name=name, return_type=return_type, params=params)
+        )
+
+
+def parse_header(text: str, filename: Optional[str] = None) -> HeaderInfo:
+    """Parse C header source text into a :class:`HeaderInfo`."""
+    tokens = tokenize(text, filename=filename)
+    return _HeaderParser(tokens, filename).parse()
+
+
+def parse_header_file(path: str) -> HeaderInfo:
+    """Parse a C header from disk."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_header(handle.read(), filename=path)

@@ -1,0 +1,45 @@
+"""Errors raised by the CAvA specification tooling."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class SpecError(Exception):
+    """Base class for all specification-language errors."""
+
+
+class SpecSyntaxError(SpecError):
+    """A lexing or parsing failure, with source position."""
+
+    def __init__(
+        self,
+        message: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        filename: Optional[str] = None,
+    ) -> None:
+        self.line = line
+        self.column = column
+        self.filename = filename
+        where = ""
+        if filename is not None:
+            where += filename
+        if line is not None:
+            where += f":{line}"
+            if column is not None:
+                where += f":{column}"
+        super().__init__(f"{where}: {message}" if where else message)
+
+
+class SpecSemanticError(SpecError):
+    """A well-formed spec that violates a semantic rule.
+
+    Examples: a ``buffer(size)`` annotation naming a parameter that does
+    not exist, an ``async`` function with an output parameter and no
+    explicit override, or a ``success(...)`` constant that is undefined.
+    """
+
+
+class ExprError(SpecError):
+    """Failure while parsing or evaluating a size/condition expression."""

@@ -1,0 +1,222 @@
+"""Tokenizer shared by the spec-language parser and the C header parser.
+
+The token stream is deliberately C-flavoured: identifiers, integer and
+string literals, punctuation, multi-character operators, and preprocessor
+directives (``#include``, ``#define``) surfaced as dedicated tokens so the
+parsers above can interpret them.  Comments (``//`` and ``/* */``) are
+stripped here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from repro.spec.errors import SpecSyntaxError
+
+# Token kinds
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+PUNCT = "PUNCT"
+DIRECTIVE = "DIRECTIVE"
+EOF = "EOF"
+
+_TWO_CHAR_OPS = {"==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "->"}
+_ONE_CHAR_OPS = set("(){}[];,*=<>!+-/%&|?:.~^")
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexeme with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_punct(self, value: str) -> bool:
+        return self.kind == PUNCT and self.value == value
+
+    def is_ident(self, value: Optional[str] = None) -> bool:
+        if self.kind != IDENT:
+            return False
+        return value is None or self.value == value
+
+
+class Lexer:
+    """Converts source text into a list of :class:`Token`."""
+
+    def __init__(self, text: str, filename: Optional[str] = None) -> None:
+        self.text = text
+        self.filename = filename
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    def _error(self, message: str) -> SpecSyntaxError:
+        return SpecSyntaxError(
+            message, line=self.line, column=self.column, filename=self.filename
+        )
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def _take(self) -> str:
+        char = self.text[self.pos]
+        self.pos += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def tokens(self) -> List[Token]:
+        """Tokenize the entire input, ending with an EOF token."""
+        result = list(self._iter_tokens())
+        result.append(Token(EOF, "", self.line, self.column))
+        return result
+
+    def _iter_tokens(self) -> Iterator[Token]:
+        while self.pos < len(self.text):
+            char = self._peek()
+            if char in " \t\r\n":
+                self._take()
+            elif char == "/" and self._peek(1) == "/":
+                self._skip_line_comment()
+            elif char == "/" and self._peek(1) == "*":
+                self._skip_block_comment()
+            elif char == "#":
+                yield self._lex_directive()
+            elif char.isalpha() or char == "_":
+                yield self._lex_ident()
+            elif char.isdigit():
+                yield self._lex_number()
+            elif char == '"':
+                yield self._lex_string()
+            elif char == "'":
+                yield self._lex_char()
+            else:
+                yield self._lex_punct()
+
+    def _skip_line_comment(self) -> None:
+        while self.pos < len(self.text) and self._peek() != "\n":
+            self._take()
+
+    def _skip_block_comment(self) -> None:
+        start_line, start_col = self.line, self.column
+        self._take()
+        self._take()
+        while self.pos < len(self.text):
+            if self._peek() == "*" and self._peek(1) == "/":
+                self._take()
+                self._take()
+                return
+            self._take()
+        raise SpecSyntaxError(
+            "unterminated block comment",
+            line=start_line,
+            column=start_col,
+            filename=self.filename,
+        )
+
+    def _lex_directive(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        # A directive runs to end of line; support backslash continuation.
+        while self.pos < len(self.text):
+            if self._peek() == "\\" and self._peek(1) == "\n":
+                self._take()
+                self._take()
+                continue
+            if self._peek() == "\n":
+                break
+            chars.append(self._take())
+        return Token(DIRECTIVE, "".join(chars), line, column)
+
+    def _lex_ident(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        while self.pos < len(self.text) and (
+            self._peek().isalnum() or self._peek() == "_"
+        ):
+            chars.append(self._take())
+        return Token(IDENT, "".join(chars), line, column)
+
+    def _lex_number(self) -> Token:
+        line, column = self.line, self.column
+        chars: List[str] = []
+        if self._peek() == "0" and self._peek(1) in ("x", "X"):
+            chars.append(self._take())
+            chars.append(self._take())
+            while self.pos < len(self.text) and (
+                self._peek() in "0123456789abcdefABCDEF"
+            ):
+                chars.append(self._take())
+        else:
+            while self.pos < len(self.text) and (
+                self._peek().isdigit() or self._peek() == "."
+            ):
+                chars.append(self._take())
+        # swallow C integer suffixes (UL, LL, f, ...)
+        while self.pos < len(self.text) and self._peek() in set("uUlLfF"):
+            self._take()
+        return Token(NUMBER, "".join(chars), line, column)
+
+    def _lex_string(self) -> Token:
+        line, column = self.line, self.column
+        self._take()  # opening quote
+        chars: List[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise SpecSyntaxError(
+                    "unterminated string literal",
+                    line=line,
+                    column=column,
+                    filename=self.filename,
+                )
+            char = self._take()
+            if char == "\\" and self.pos < len(self.text):
+                escaped = self._take()
+                escapes = {"n": "\n", "t": "\t", '"': '"', "\\": "\\", "0": "\0"}
+                chars.append(escapes.get(escaped, escaped))
+            elif char == '"':
+                break
+            else:
+                chars.append(char)
+        return Token(STRING, "".join(chars), line, column)
+
+    def _lex_char(self) -> Token:
+        line, column = self.line, self.column
+        self._take()  # opening quote
+        if self.pos >= len(self.text):
+            raise self._error("unterminated character literal")
+        char = self._take()
+        if char == "\\" and self.pos < len(self.text):
+            escaped = self._take()
+            escapes = {"n": "\n", "t": "\t", "'": "'", "\\": "\\", "0": "\0"}
+            char = escapes.get(escaped, escaped)
+        if self._peek() != "'":
+            raise self._error("unterminated character literal")
+        self._take()
+        return Token(NUMBER, str(ord(char)), line, column)
+
+    def _lex_punct(self) -> Token:
+        line, column = self.line, self.column
+        two = self._peek() + self._peek(1)
+        if two in _TWO_CHAR_OPS:
+            self._take()
+            self._take()
+            return Token(PUNCT, two, line, column)
+        char = self._peek()
+        if char not in _ONE_CHAR_OPS:
+            raise self._error(f"unexpected character {char!r}")
+        self._take()
+        return Token(PUNCT, char, line, column)
+
+
+def tokenize(text: str, filename: Optional[str] = None) -> List[Token]:
+    """Tokenize ``text`` into a token list terminated by EOF."""
+    return Lexer(text, filename=filename).tokens()

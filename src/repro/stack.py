@@ -1,0 +1,140 @@
+"""One-call deployment of the standard AvA stacks.
+
+This is the "auto-generated scripts to integrate the generated
+components with the API-independent components and deploy them" step of
+the paper's workflow: parse the shipped specifications, run CAvA, and
+wire the generated modules into a hypervisor with simulated devices.
+
+Generated stacks are cached per process — the generator is fast, but
+tests create many hypervisors.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.codegen.generator import GeneratedStack, generate_api
+from repro.hypervisor.hypervisor import ApiRegistration, Hypervisor
+from repro.hypervisor.policy import ResourcePolicy
+from repro.mvnc.device import SimulatedNCS
+from repro.opencl.device import SimulatedGPU
+from repro.opencl.runtime import MemoryManager
+from repro.server.bindings import (
+    mvnc_session_binder,
+    opencl_session_binder,
+)
+from repro.spec import parse_spec_file
+from repro.spec.model import ApiSpec
+
+_STACK_CACHE: Dict[str, GeneratedStack] = {}
+
+NATIVE_MODULES = {
+    "opencl": "repro.opencl.api",
+    "mvnc": "repro.mvnc.api",
+    "qat": "repro.qat.api",
+    "tpu": "repro.tpu.api",
+}
+
+
+def default_specs_dir() -> str:
+    """The shipped specifications directory (override: REPRO_SPECS_DIR)."""
+    override = os.environ.get("REPRO_SPECS_DIR")
+    if override:
+        return override
+    here = os.path.dirname(os.path.abspath(__file__))
+    # src/repro/ → repository root → specs/
+    candidate = os.path.normpath(os.path.join(here, "..", "..", "specs"))
+    if os.path.isdir(candidate):
+        return candidate
+    raise FileNotFoundError(
+        "cannot locate the specs/ directory; set REPRO_SPECS_DIR"
+    )
+
+
+def load_spec(api_name: str) -> ApiSpec:
+    """Parse one of the shipped specifications.
+
+    Most APIs ship a ``.cava`` file; the TPU is the dynamic-language
+    target whose spec comes from introspecting its Python module.
+    """
+    if api_name == "tpu":
+        from repro.codegen.pyfront import spec_from_module
+        from repro.tpu import api as tpu_api
+
+        return spec_from_module(tpu_api, "tpu", "tpu")
+    path = os.path.join(default_specs_dir(), f"{api_name}.cava")
+    return parse_spec_file(path)
+
+
+def build_stack(api_name: str, out_dir: Optional[str] = None,
+                refresh: bool = False) -> GeneratedStack:
+    """Generate (or fetch the cached) stack for a shipped API."""
+    if not refresh and api_name in _STACK_CACHE:
+        return _STACK_CACHE[api_name]
+    native = NATIVE_MODULES.get(api_name)
+    if native is None:
+        raise KeyError(f"no native module known for API {api_name!r}")
+    spec = load_spec(api_name)
+    target = out_dir or os.path.join(
+        tempfile.gettempdir(), f"cava_generated_{os.getpid()}"
+    )
+    stack = generate_api(spec, target, native)
+    _STACK_CACHE[api_name] = stack
+    return stack
+
+
+def make_hypervisor(
+    policy: Optional[ResourcePolicy] = None,
+    apis: Sequence[str] = ("opencl",),
+    gpu_factory: Optional[Callable[[], SimulatedGPU]] = None,
+    shared_gpus: Optional[List[SimulatedGPU]] = None,
+    ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
+    memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
+) -> Hypervisor:
+    """A hypervisor with the requested generated API stacks registered.
+
+    By default each VM's worker gets a *private* simulated device (the
+    paper's measurement setup: one tenant per accelerator while AvA
+    provides the virtualization plumbing).  Pass ``shared_gpus`` to make
+    all OpenCL workers share devices instead.
+    """
+    hypervisor = Hypervisor(policy=policy)
+    for api_name in apis:
+        stack = build_stack(api_name)
+        if api_name == "opencl":
+            if shared_gpus is not None:
+                devices_factory = lambda: list(shared_gpus)  # noqa: E731
+            else:
+                factory = gpu_factory or SimulatedGPU
+                devices_factory = lambda f=factory: [f()]  # noqa: E731
+            binder = opencl_session_binder(
+                devices_factory, memory_manager_factory
+            )
+        elif api_name == "mvnc":
+            factory = ncs_factory or SimulatedNCS
+            binder = mvnc_session_binder(lambda f=factory: [f()])
+        elif api_name == "qat":
+            from repro.qat.device import SimulatedQAT
+            from repro.server.bindings import qat_session_binder
+
+            binder = qat_session_binder(lambda: [SimulatedQAT()])
+        elif api_name == "tpu":
+            from repro.server.bindings import tpu_session_binder
+            from repro.tpu.device import SimulatedTPU
+
+            binder = tpu_session_binder(lambda: [SimulatedTPU()])
+        else:
+            raise KeyError(f"unknown API {api_name!r}")
+        hypervisor.register_api(
+            ApiRegistration(
+                name=api_name,
+                routing_table=stack.routing_table(),
+                dispatch=stack.dispatch(),
+                record_kinds=stack.record_kinds(),
+                guest_module=stack.guest_module,
+                session_binder=binder,
+            )
+        )
+    return hypervisor

@@ -1,0 +1,19 @@
+"""A simulated TPU and a Python-native graph API over it.
+
+Paper §5: "We also plan to extend AvA to support dynamic languages,
+e.g. Python, allowing us to auto-virtualize TensorFlow running on the
+Google TPU."  This package is that extension's target: a TensorFlow-1.x-
+flavoured *Python* API (build a graph of matmul/add/relu/softmax nodes,
+compile, run with feeds and fetches) over a simulated TPU with a
+systolic-array cost model (128×128 tiles — padding waste included, as
+on the real part).
+
+There is no C header here: the CAvA specification is derived from the
+Python module itself by :mod:`repro.codegen.pyfront`.
+"""
+
+from repro.tpu.device import SimulatedTPU, TPUDeviceSpec
+from repro.tpu.graphs import TPUGraph, GraphError
+from repro.tpu import api
+
+__all__ = ["GraphError", "SimulatedTPU", "TPUDeviceSpec", "TPUGraph", "api"]

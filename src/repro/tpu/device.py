@@ -1,0 +1,69 @@
+"""The simulated TPU: systolic-array cost model and timeline.
+
+Matrix multiplies run on a 128×128 systolic array: operands are padded
+to tile boundaries, so a (129, 10) @ (10, 5) matmul costs as much as
+(256, 128) @ (128, 128) — the padding waste that dominates small-model
+TPU performance in practice.  Element-wise ops are HBM-bandwidth bound;
+feeds and fetches cross a PCIe-like link.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TPUDeviceSpec:
+    """Static capabilities of the simulated TPU."""
+
+    name: str = "AvA Simulated TPU"
+    #: systolic array dimension (tiles are array_dim × array_dim)
+    array_dim: int = 128
+    #: peak matmul throughput, flops per second
+    flops: float = 45e12
+    #: HBM bandwidth for element-wise work, bytes per second
+    hbm_bandwidth: float = 600e9
+    #: host link bandwidth for feeds/fetches, bytes per second
+    link_bandwidth: float = 10e9
+    #: fixed per-step dispatch overhead, seconds
+    step_overhead: float = 20e-6
+
+
+class SimulatedTPU:
+    """One TPU: a timeline plus per-category op statistics."""
+
+    def __init__(self, spec: TPUDeviceSpec = TPUDeviceSpec(),
+                 index: int = 0) -> None:
+        self.spec = spec
+        self.index = index
+        self.timeline: float = 0.0
+        self.busy_time: float = 0.0
+        self.opened = False
+        self.steps_executed = 0
+
+    def _tiles(self, dim: int) -> int:
+        return max(1, math.ceil(dim / self.spec.array_dim))
+
+    def matmul_cost(self, m: int, k: int, n: int) -> float:
+        """Padded-tile systolic cost of an (m,k) @ (k,n) multiply."""
+        tiles = self._tiles(m) * self._tiles(k) * self._tiles(n)
+        padded_flops = tiles * 2 * self.spec.array_dim ** 3
+        return padded_flops / self.spec.flops
+
+    def elementwise_cost(self, nbytes: int) -> float:
+        return nbytes / self.spec.hbm_bandwidth
+
+    def transfer_cost(self, nbytes: int) -> float:
+        return nbytes / self.spec.link_bandwidth
+
+    def execute_step(self, compute_seconds: float,
+                     not_before: float) -> float:
+        """Run one session step; returns completion time."""
+        cost = self.spec.step_overhead + compute_seconds
+        start = max(self.timeline, not_before)
+        end = start + cost
+        self.timeline = end
+        self.busy_time += cost
+        self.steps_executed += 1
+        return end

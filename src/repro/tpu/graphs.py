@@ -1,0 +1,172 @@
+"""Lazy computation graphs for the simulated TPU.
+
+A :class:`TPUGraph` holds nodes (placeholders, constants, binary and
+unary ops) identified by small integer ids — the TensorFlow-1.x model:
+build once, compile, then run repeatedly with feeds.  Execution is
+real float32 numpy; the compile step derives the per-step device cost
+from the node shapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.tpu.device import SimulatedTPU
+
+# op codes (the dynamic API passes these as plain ints)
+OP_PLACEHOLDER = 0
+OP_CONSTANT = 1
+OP_MATMUL = 10
+OP_ADD = 11
+OP_RELU = 20
+OP_SOFTMAX = 21
+OP_REDUCE_SUM = 22
+
+BINARY_OPS = (OP_MATMUL, OP_ADD)
+UNARY_OPS = (OP_RELU, OP_SOFTMAX, OP_REDUCE_SUM)
+
+
+class GraphError(Exception):
+    """Malformed graph construction or execution."""
+
+
+@dataclass
+class Node:
+    node_id: int
+    op: int
+    shape: Tuple[int, int]
+    inputs: Tuple[int, ...] = ()
+    value: Optional[np.ndarray] = None  # constants only
+
+
+@dataclass
+class TPUGraph:
+    """One graph resident on a device."""
+
+    device: SimulatedTPU
+    nodes: Dict[int, Node] = field(default_factory=dict)
+    compiled: bool = False
+    step_cost: float = 0.0
+    destroyed: bool = False
+    _next_id: int = 1
+
+    # -- construction --------------------------------------------------------
+
+    def _add(self, op: int, shape: Tuple[int, int],
+             inputs: Tuple[int, ...] = (),
+             value: Optional[np.ndarray] = None) -> int:
+        if self.destroyed:
+            raise GraphError("graph was destroyed")
+        if any(dim <= 0 for dim in shape):
+            raise GraphError(f"non-positive shape {shape}")
+        for node_id in inputs:
+            if node_id not in self.nodes:
+                raise GraphError(f"unknown input node {node_id}")
+        node = Node(self._next_id, op, shape, inputs, value)
+        self.nodes[node.node_id] = node
+        self._next_id += 1
+        self.compiled = False
+        return node.node_id
+
+    def placeholder(self, rows: int, cols: int) -> int:
+        return self._add(OP_PLACEHOLDER, (rows, cols))
+
+    def constant(self, value: np.ndarray) -> int:
+        value = np.asarray(value, dtype=np.float32)
+        if value.ndim != 2:
+            raise GraphError("constants must be 2-D")
+        return self._add(OP_CONSTANT, value.shape, value=value)
+
+    def binary(self, op: int, a: int, b: int) -> int:
+        if op not in BINARY_OPS:
+            raise GraphError(f"unknown binary op {op}")
+        sa = self.nodes_shape(a)
+        sb = self.nodes_shape(b)
+        if op == OP_MATMUL:
+            if sa[1] != sb[0]:
+                raise GraphError(f"matmul shape mismatch {sa} @ {sb}")
+            shape = (sa[0], sb[1])
+        else:  # ADD broadcasts a row vector
+            if sa != sb and not (sb[0] == 1 and sa[1] == sb[1]):
+                raise GraphError(f"add shape mismatch {sa} + {sb}")
+            shape = sa
+        return self._add(op, shape, (a, b))
+
+    def unary(self, op: int, a: int) -> int:
+        if op not in UNARY_OPS:
+            raise GraphError(f"unknown unary op {op}")
+        shape = self.nodes_shape(a)
+        if op == OP_REDUCE_SUM:
+            shape = (shape[0], 1)
+        return self._add(op, shape, (a,))
+
+    def nodes_shape(self, node_id: int) -> Tuple[int, int]:
+        node = self.nodes.get(node_id)
+        if node is None:
+            raise GraphError(f"unknown node {node_id}")
+        return node.shape
+
+    # -- compile -----------------------------------------------------------------
+
+    def compile(self) -> float:
+        """Derive the per-step device cost; returns estimated flops."""
+        flops = 0.0
+        cost = 0.0
+        for node in self.nodes.values():
+            rows, cols = node.shape
+            if node.op == OP_MATMUL:
+                k = self.nodes[node.inputs[0]].shape[1]
+                flops += 2.0 * rows * cols * k
+                cost += self.device.matmul_cost(rows, k, cols)
+            elif node.op in (OP_ADD, OP_RELU, OP_SOFTMAX, OP_REDUCE_SUM):
+                nbytes = rows * cols * 4 * 3  # read a, read b, write out
+                flops += rows * cols
+                cost += self.device.elementwise_cost(nbytes)
+        self.step_cost = cost
+        self.compiled = True
+        return flops
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, feeds: Dict[int, np.ndarray],
+            fetch: int) -> np.ndarray:
+        """Evaluate ``fetch`` given placeholder feeds (real numpy)."""
+        if not self.compiled:
+            raise GraphError("graph must be compiled before running")
+        if fetch not in self.nodes:
+            raise GraphError(f"unknown fetch node {fetch}")
+        cache: Dict[int, np.ndarray] = {}
+
+        def evaluate(node_id: int) -> np.ndarray:
+            if node_id in cache:
+                return cache[node_id]
+            node = self.nodes[node_id]
+            if node.op == OP_PLACEHOLDER:
+                if node_id not in feeds:
+                    raise GraphError(f"placeholder {node_id} not fed")
+                value = np.asarray(feeds[node_id],
+                                   dtype=np.float32).reshape(node.shape)
+            elif node.op == OP_CONSTANT:
+                value = node.value
+            elif node.op == OP_MATMUL:
+                value = evaluate(node.inputs[0]) @ evaluate(node.inputs[1])
+            elif node.op == OP_ADD:
+                value = evaluate(node.inputs[0]) + evaluate(node.inputs[1])
+            elif node.op == OP_RELU:
+                value = np.maximum(evaluate(node.inputs[0]), 0)
+            elif node.op == OP_SOFTMAX:
+                logits = evaluate(node.inputs[0])
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                value = exp / exp.sum(axis=1, keepdims=True)
+            elif node.op == OP_REDUCE_SUM:
+                value = evaluate(node.inputs[0]).sum(axis=1, keepdims=True)
+            else:  # pragma: no cover - construction rejects unknown ops
+                raise GraphError(f"unknown op {node.op}")
+            cache[node_id] = value.astype(np.float32)
+            return cache[node_id]
+
+        return evaluate(fetch)

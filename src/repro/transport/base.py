@@ -1,0 +1,98 @@
+"""Transport abstraction: encoded commands in, encoded replies out.
+
+A transport's job in this reproduction is deliberately honest: it really
+encodes the :class:`~repro.remoting.codec.Command` to wire bytes, really
+hands those bytes to the router, and really decodes the reply bytes —
+so a marshaling bug breaks tests rather than hiding behind an in-memory
+shortcut.  Timing comes from each transport's cost parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+from repro.remoting.codec import Command, Reply, decode_message, encode_message
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.hypervisor.router import Router
+
+
+class TransportError(Exception):
+    """Transport-level failure (oversized frame, closed channel...)."""
+
+
+@dataclass
+class DeliveryResult:
+    """Outcome of one forwarded command.
+
+    ``sent_at``      — guest time when the last byte left the guest.
+    ``completed_at`` — host time when execution finished.
+    ``reply``        — the decoded reply.
+    ``reply_cost``   — transport seconds for the reply leg (charged to
+                       the guest only if it synchronously waits).
+    """
+
+    reply: Reply
+    sent_at: float
+    completed_at: float
+    reply_cost: float
+
+
+class Transport:
+    """Base class: cost hooks + the shared delivery mechanics."""
+
+    name = "abstract"
+
+    def __init__(self, router: "Router") -> None:
+        self.router = router
+        #: bytes moved guest→host / host→guest (metrics)
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.messages = 0
+
+    # -- cost hooks (subclasses override) -----------------------------------
+
+    def send_cost(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def recv_cost(self, nbytes: int) -> float:
+        raise NotImplementedError
+
+    def enqueue_cost(self, nbytes: int) -> float:
+        """Guest-side cost of an *asynchronous* submission.
+
+        Async commands are appended to the shared command queue without
+        waiting for a doorbell round trip (the batching/lazy-RPC
+        optimization of §4.2) — the guest pays the copy, not the exit.
+        Subclasses with per-byte copy costs should override.
+        """
+        return 0.15e-6
+
+    # -- delivery ------------------------------------------------------------
+
+    def deliver(self, command: Command, guest_now: float,
+                asynchronous: bool = False) -> DeliveryResult:
+        """Forward one command through the router and collect the reply.
+
+        ``guest_now`` is the guest's virtual time at submission; the
+        returned timestamps let the guest runtime implement sync and
+        async semantics without the transport caring which it is.
+        """
+        wire = encode_message(command)
+        self.tx_bytes += len(wire)
+        self.messages += 1
+        cost = (self.enqueue_cost(len(wire)) if asynchronous
+                else self.send_cost(len(wire)))
+        sent_at = guest_now + cost
+        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at)
+        reply = decode_message(reply_wire)
+        if not isinstance(reply, Reply):
+            raise TransportError("router returned a non-reply message")
+        self.rx_bytes += len(reply_wire)
+        return DeliveryResult(
+            reply=reply,
+            sent_at=sent_at,
+            completed_at=reply.complete_time,
+            reply_cost=self.recv_cost(len(reply_wire)),
+        )

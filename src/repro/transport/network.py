@@ -1,0 +1,53 @@
+"""TCP-like transport for disaggregated accelerators.
+
+The paper notes AvA's pluggable transport lets VMs use accelerators on
+other machines (the LegoOS configuration).  This transport prices that:
+tens of microseconds of one-way latency and NIC-bounded bandwidth, so the
+Figure 5 experiment re-run over it shows which workloads tolerate
+disaggregation (compute-bound) and which do not (chatty / copy-heavy).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.transport.base import Transport
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hypervisor.router import Router
+
+
+class NetworkTransport(Transport):
+    """Datacenter-network transport (disaggregated accelerator)."""
+
+    name = "network"
+
+    def __init__(
+        self,
+        router: "Router",
+        latency: float = 25e-6,
+        bandwidth: float = 5e9,  # ~40 GbE effective
+        mtu: int = 9000,
+        per_packet_cost: float = 0.6e-6,
+    ) -> None:
+        super().__init__(router)
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.latency = latency
+        self.bandwidth = bandwidth
+        self.mtu = mtu
+        self.per_packet_cost = per_packet_cost
+
+    def _cost(self, nbytes: int) -> float:
+        packets = max(1, -(-nbytes // self.mtu))
+        return (
+            self.latency
+            + packets * self.per_packet_cost
+            + nbytes / self.bandwidth
+        )
+
+    def send_cost(self, nbytes: int) -> float:
+        return self._cost(nbytes)
+
+    def recv_cost(self, nbytes: int) -> float:
+        return self._cost(nbytes)

@@ -1,0 +1,66 @@
+"""Benchmark workloads: Rodinia-style OpenCL apps + Inception on MVNC.
+
+Each workload is real host code against the 39-function OpenCL API (or
+the MVNC API), computing real results with numpy-backed kernels.  The
+same workload object runs unmodified against the native API module or
+an AvA-forwarded guest library — which is precisely the compatibility
+property API remoting preserves and what the Figure 5 experiment
+measures.
+"""
+
+from repro.workloads.base import (
+    CLEnv,
+    OpenCLWorkload,
+    WorkloadResult,
+    close_env,
+    open_env,
+)
+from repro.workloads.backprop import BackpropWorkload
+from repro.workloads.bfs import BFSWorkload
+from repro.workloads.gaussian import GaussianWorkload
+from repro.workloads.hotspot import HotspotWorkload
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.lavamd import LavaMDWorkload
+from repro.workloads.lud import LUDWorkload
+from repro.workloads.nn import NNWorkload
+from repro.workloads.nw import NWWorkload
+from repro.workloads.pathfinder import PathfinderWorkload
+from repro.workloads.srad import SradWorkload
+from repro.workloads.inception import InceptionWorkload, build_inception_graph
+
+#: the Figure 5 OpenCL workload suite, in the paper's bar order
+OPENCL_WORKLOADS = [
+    BackpropWorkload,
+    BFSWorkload,
+    GaussianWorkload,
+    HotspotWorkload,
+    KMeansWorkload,
+    LavaMDWorkload,
+    LUDWorkload,
+    NNWorkload,
+    NWWorkload,
+    PathfinderWorkload,
+    SradWorkload,
+]
+
+__all__ = [
+    "BackpropWorkload",
+    "BFSWorkload",
+    "CLEnv",
+    "GaussianWorkload",
+    "HotspotWorkload",
+    "InceptionWorkload",
+    "KMeansWorkload",
+    "LUDWorkload",
+    "LavaMDWorkload",
+    "NNWorkload",
+    "NWWorkload",
+    "OPENCL_WORKLOADS",
+    "OpenCLWorkload",
+    "PathfinderWorkload",
+    "SradWorkload",
+    "WorkloadResult",
+    "build_inception_graph",
+    "close_env",
+    "open_env",
+]

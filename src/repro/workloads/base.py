@@ -1,0 +1,210 @@
+"""Shared host-side plumbing for the OpenCL workloads.
+
+Everything here goes through the public API object (``cl``) only — the
+workloads cannot tell whether they are talking to the native library or
+to an AvA guest library, because the call surface is identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.opencl import types
+from repro.remoting.buffers import OutBox
+
+
+class WorkloadError(Exception):
+    """A workload hit an unexpected API error."""
+
+
+def _check(code: int, what: str) -> None:
+    if code != types.CL_SUCCESS:
+        raise WorkloadError(f"{what} failed with CL error {code}")
+
+
+@dataclass
+class CLEnv:
+    """One opened OpenCL environment (platform→queue) plus cleanup state."""
+
+    cl: Any
+    platform: Any
+    device: Any
+    context: Any
+    queue: Any
+    _mems: List[Any] = field(default_factory=list)
+    _kernels: List[Any] = field(default_factory=list)
+    _programs: List[Any] = field(default_factory=list)
+
+    # -- buffers -------------------------------------------------------------
+
+    def buffer(self, size: int, flags: int = types.CL_MEM_READ_WRITE,
+               host: Optional[np.ndarray] = None) -> Any:
+        if host is not None:
+            flags |= types.CL_MEM_COPY_HOST_PTR
+        err = OutBox()
+        mem = self.cl.clCreateBuffer(self.context, flags, int(size), host,
+                                     err)
+        _check(err.value, "clCreateBuffer")
+        self._mems.append(mem)
+        return mem
+
+    def write(self, mem: Any, data: np.ndarray, blocking: bool = True,
+              offset: int = 0) -> None:
+        _check(
+            self.cl.clEnqueueWriteBuffer(
+                self.queue, mem,
+                types.CL_TRUE if blocking else types.CL_FALSE,
+                offset, data.nbytes, data, 0, None, None,
+            ),
+            "clEnqueueWriteBuffer",
+        )
+
+    def read(self, mem: Any, nbytes: int, dtype: Any = np.float32,
+             blocking: bool = True, offset: int = 0) -> np.ndarray:
+        out = np.zeros(nbytes // np.dtype(dtype).itemsize, dtype=dtype)
+        _check(
+            self.cl.clEnqueueReadBuffer(
+                self.queue, mem,
+                types.CL_TRUE if blocking else types.CL_FALSE,
+                offset, nbytes, out, 0, None, None,
+            ),
+            "clEnqueueReadBuffer",
+        )
+        return out
+
+    # -- programs / kernels ---------------------------------------------------
+
+    def program(self, source: str) -> Any:
+        err = OutBox()
+        program = self.cl.clCreateProgramWithSource(self.context, 1, source,
+                                                    None, err)
+        _check(err.value, "clCreateProgramWithSource")
+        _check(
+            self.cl.clBuildProgram(program, 0, None, "", None, None),
+            "clBuildProgram",
+        )
+        self._programs.append(program)
+        return program
+
+    def kernel(self, program: Any, name: str) -> Any:
+        err = OutBox()
+        kernel = self.cl.clCreateKernel(program, name, err)
+        _check(err.value, f"clCreateKernel({name})")
+        self._kernels.append(kernel)
+        return kernel
+
+    def set_args(self, kernel: Any, *args: Any) -> None:
+        for index, value in enumerate(args):
+            if isinstance(value, float):
+                size, wire = 8, float(value)
+            elif isinstance(value, int) and not isinstance(value, bool):
+                # could be a scalar or a buffer handle; either way one word
+                size, wire = 8, value
+            else:
+                size, wire = 8, value
+            _check(
+                self.cl.clSetKernelArg(kernel, index, size, wire),
+                f"clSetKernelArg({index})",
+            )
+
+    def launch(self, kernel: Any, global_size: List[int],
+               local_size: Optional[List[int]] = None) -> None:
+        _check(
+            self.cl.clEnqueueNDRangeKernel(
+                self.queue, kernel, len(global_size), None,
+                [int(g) for g in global_size],
+                [int(l) for l in local_size] if local_size else None,
+                0, None, None,
+            ),
+            "clEnqueueNDRangeKernel",
+        )
+
+    def finish(self) -> None:
+        _check(self.cl.clFinish(self.queue), "clFinish")
+
+    # -- teardown ----------------------------------------------------------------
+
+    def close(self) -> None:
+        for kernel in self._kernels:
+            self.cl.clReleaseKernel(kernel)
+        for program in self._programs:
+            self.cl.clReleaseProgram(program)
+        for mem in self._mems:
+            self.cl.clReleaseMemObject(mem)
+        self.cl.clReleaseCommandQueue(self.queue)
+        self.cl.clReleaseContext(self.context)
+        self._kernels.clear()
+        self._programs.clear()
+        self._mems.clear()
+
+
+def open_env(cl: Any) -> CLEnv:
+    """Standard discovery + context + queue boilerplate."""
+    platforms = [None]
+    _check(cl.clGetPlatformIDs(1, platforms, None), "clGetPlatformIDs")
+    devices = [None]
+    _check(
+        cl.clGetDeviceIDs(platforms[0], types.CL_DEVICE_TYPE_GPU, 1, devices,
+                          None),
+        "clGetDeviceIDs",
+    )
+    err = OutBox()
+    context = cl.clCreateContext(None, 1, devices, None, None, err)
+    _check(err.value, "clCreateContext")
+    queue = cl.clCreateCommandQueue(context, devices[0], 0, err)
+    _check(err.value, "clCreateCommandQueue")
+    return CLEnv(cl=cl, platform=platforms[0], device=devices[0],
+                 context=context, queue=queue)
+
+
+def close_env(env: CLEnv) -> None:
+    env.close()
+
+
+@dataclass
+class WorkloadResult:
+    """Outcome of one workload run."""
+
+    name: str
+    outputs: Dict[str, np.ndarray]
+    verified: bool
+    detail: str = ""
+
+
+class OpenCLWorkload:
+    """Base class: a named, sized, verifiable OpenCL application."""
+
+    name = "abstract"
+    #: rough native runtime scale; used by tests to pick small cases
+    default_scale = 1.0
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        self.scale = scale
+        self.seed = seed
+        self._reference_cache: Optional[Dict[str, np.ndarray]] = None
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        """Memoize ``reference()`` — workloads verify against it on every
+        run and the reference computation can rival the run itself."""
+        super().__init_subclass__(**kwargs)
+        if "reference" in cls.__dict__:
+            uncached = cls.__dict__["reference"]
+
+            def cached(self, _uncached=uncached):
+                if self._reference_cache is None:
+                    self._reference_cache = _uncached(self)
+                return self._reference_cache
+
+            cached.__doc__ = uncached.__doc__
+            cls.reference = cached
+
+    def run(self, cl: Any) -> WorkloadResult:
+        """Run against an API object; must verify its own results."""
+        raise NotImplementedError
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        """Pure-numpy reference results."""
+        raise NotImplementedError

@@ -1,0 +1,119 @@
+"""Rodinia ``kmeans``: clustering with per-iteration host read-back.
+
+Call pattern follows Rodinia's split: the device assigns memberships,
+the *host* recomputes centroids — so every iteration writes centers
+down and blocks reading memberships back.  Moderate chattiness with
+medium payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.opencl.kernels import BUFFER, SCALAR, LaunchContext, register_kernel
+from repro.workloads.base import OpenCLWorkload, WorkloadResult, close_env, open_env
+
+SOURCE = """
+__kernel void kmeans_assign(__global float *points, __global float *centers,
+                            __global int *membership, int n, int d, int k) {}
+"""
+
+
+@register_kernel("kmeans_assign", [BUFFER, BUFFER, BUFFER, SCALAR, SCALAR,
+                                   SCALAR],
+                 flops_per_item=48.0, bytes_per_item=36.0)
+def _kmeans_assign(ctx: LaunchContext) -> None:
+    n = int(ctx.scalar(3))
+    d = int(ctx.scalar(4))
+    k = int(ctx.scalar(5))
+    points = ctx.buf(0)[: n * d].reshape(n, d)
+    centers = ctx.buf(1)[: k * d].reshape(k, d)
+    distances = (
+        (points[:, None, :] - centers[None, :, :]) ** 2
+    ).sum(axis=2)
+    ctx.buf(2, np.int32)[:n] = distances.argmin(axis=1).astype(np.int32)
+
+
+def _kmeans_reference(points: np.ndarray, centers: np.ndarray,
+                      iterations: int):
+    k = centers.shape[0]
+    membership = None
+    for _ in range(iterations):
+        distances = ((points[:, None, :] - centers[None, :, :]) ** 2).sum(2)
+        new_membership = distances.argmin(axis=1)
+        if membership is not None and (new_membership == membership).all():
+            membership = new_membership
+            break
+        membership = new_membership
+        for j in range(k):
+            chosen = points[membership == j]
+            if len(chosen):
+                centers[j] = chosen.mean(axis=0)
+    return membership.astype(np.int32), centers
+
+
+class KMeansWorkload(OpenCLWorkload):
+    """Device assignment + host centroid update until convergence."""
+
+    name = "kmeans"
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        super().__init__(scale, seed)
+        self.n = max(64, int(49152 * scale))
+        self.d = 16
+        self.k = 8
+        self.max_iters = 20
+
+    def _inputs(self):
+        rng = np.random.default_rng(self.seed)
+        blob_centers = rng.random((self.k, self.d), dtype=np.float32) * 10
+        assignments = rng.integers(0, self.k, self.n)
+        points = (blob_centers[assignments]
+                  + rng.normal(0, 0.5, (self.n, self.d))).astype(np.float32)
+        initial = points[:: self.n // self.k][: self.k].copy()
+        return points, initial
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        points, centers = self._inputs()
+        membership, final = _kmeans_reference(points.copy(), centers.copy(),
+                                              self.max_iters)
+        return {"membership": membership, "centers": final}
+
+    def run(self, cl: Any) -> WorkloadResult:
+        points, centers = self._inputs()
+        n, d, k = self.n, self.d, self.k
+        env = open_env(cl)
+        try:
+            program = env.program(SOURCE)
+            assign = env.kernel(program, "kmeans_assign")
+            b_points = env.buffer(points.nbytes, host=points)
+            b_centers = env.buffer(centers.nbytes, host=centers)
+            b_membership = env.buffer(4 * n)
+            env.set_args(assign, b_points, b_centers, b_membership, n, d, k)
+
+            membership = None
+            iterations = 0
+            for _ in range(self.max_iters):
+                env.launch(assign, [n * k])
+                new_membership = env.read(b_membership, 4 * n,
+                                          dtype=np.int32)
+                iterations += 1
+                if membership is not None and \
+                        (new_membership == membership).all():
+                    membership = new_membership
+                    break
+                membership = new_membership
+                for j in range(k):
+                    chosen = points[membership == j]
+                    if len(chosen):
+                        centers[j] = chosen.mean(axis=0)
+                env.write(b_centers, centers, blocking=False)
+            env.finish()
+        finally:
+            close_env(env)
+        ref = self.reference()
+        ok = (membership == ref["membership"]).mean() > 0.99
+        return WorkloadResult(self.name, {"membership": membership}, bool(ok),
+                              detail=f"{iterations} iterations")

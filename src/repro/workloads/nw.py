@@ -1,0 +1,97 @@
+"""Rodinia ``nw`` (Needleman-Wunsch): anti-diagonal wavefront DP.
+
+Call pattern: 2·n−1 *tiny* dependent kernel launches (one per
+anti-diagonal) — the launch-count stress test of the suite.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.opencl.kernels import BUFFER, SCALAR, LaunchContext, register_kernel
+from repro.workloads.base import OpenCLWorkload, WorkloadResult, close_env, open_env
+
+SOURCE = """
+__kernel void nw_diagonal(__global int *score, __global int *reference,
+                          int n, int diag, int penalty) {}
+"""
+
+
+@register_kernel("nw_diagonal", [BUFFER, BUFFER, SCALAR, SCALAR, SCALAR],
+                 flops_per_item=6.0, bytes_per_item=24.0, efficiency=0.5)
+def _nw_diagonal(ctx: LaunchContext) -> None:
+    n = int(ctx.scalar(2))
+    diag = int(ctx.scalar(3))
+    penalty = int(ctx.scalar(4))
+    score = ctx.buf(0, np.int32)[: (n + 1) * (n + 1)].reshape(n + 1, n + 1)
+    similarity = ctx.buf(1, np.int32)[: n * n].reshape(n, n)
+    i_lo = max(1, diag - n + 1)
+    i_hi = min(diag, n)
+    rows = np.arange(i_lo, i_hi + 1)
+    cols = diag - rows + 1
+    match = score[rows - 1, cols - 1] + similarity[rows - 1, cols - 1]
+    delete = score[rows - 1, cols] - penalty
+    insert = score[rows, cols - 1] - penalty
+    score[rows, cols] = np.maximum(match, np.maximum(delete, insert))
+
+
+def _nw_reference(similarity: np.ndarray, n: int, penalty: int) -> np.ndarray:
+    score = np.zeros((n + 1, n + 1), dtype=np.int32)
+    score[0, :] = -penalty * np.arange(n + 1)
+    score[:, 0] = -penalty * np.arange(n + 1)
+    for diag in range(1, 2 * n):
+        i_lo = max(1, diag - n + 1)
+        i_hi = min(diag, n)
+        rows = np.arange(i_lo, i_hi + 1)
+        cols = diag - rows + 1
+        match = score[rows - 1, cols - 1] + similarity[rows - 1, cols - 1]
+        delete = score[rows - 1, cols] - penalty
+        insert = score[rows, cols - 1] - penalty
+        score[rows, cols] = np.maximum(match, np.maximum(delete, insert))
+    return score
+
+
+class NWWorkload(OpenCLWorkload):
+    """Sequence alignment score matrix via wavefront kernels."""
+
+    name = "nw"
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        super().__init__(scale, seed)
+        self.n = max(32, int(256 * scale))
+        self.penalty = 10
+
+    def _inputs(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        return rng.integers(-4, 5, (self.n, self.n)).astype(np.int32)
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        return {"score": _nw_reference(self._inputs(), self.n, self.penalty)}
+
+    def run(self, cl: Any) -> WorkloadResult:
+        similarity = self._inputs()
+        n = self.n
+        score = np.zeros((n + 1, n + 1), dtype=np.int32)
+        score[0, :] = -self.penalty * np.arange(n + 1)
+        score[:, 0] = -self.penalty * np.arange(n + 1)
+        env = open_env(cl)
+        try:
+            program = env.program(SOURCE)
+            kernel = env.kernel(program, "nw_diagonal")
+            b_score = env.buffer(score.nbytes, host=score)
+            b_similarity = env.buffer(similarity.nbytes, host=similarity)
+            for diag in range(1, 2 * n):
+                env.set_args(kernel, b_score, b_similarity, n, diag,
+                             self.penalty)
+                width = min(diag, n) - max(1, diag - n + 1) + 1
+                env.launch(kernel, [width])
+            env.finish()
+            got = env.read(b_score, score.nbytes, dtype=np.int32).reshape(
+                n + 1, n + 1)
+        finally:
+            close_env(env)
+        ok = bool((got == self.reference()["score"]).all())
+        return WorkloadResult(self.name, {"score": got}, ok,
+                              detail=f"{2 * n - 1} diagonals")

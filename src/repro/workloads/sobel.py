@@ -1,0 +1,125 @@
+"""Sobel edge detection over an OpenCL image object.
+
+Exercises the image half of the memory API (``clCreateImage``,
+fill/write/read on an image object) through the full stack.  Call
+pattern: one image + one buffer, two launches, one read — low
+chattiness, image-shaped metadata.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import numpy as np
+
+from repro.opencl.kernels import BUFFER, SCALAR, LaunchContext, register_kernel
+from repro.opencl import types
+from repro.remoting.buffers import OutBox
+from repro.workloads.base import (
+    OpenCLWorkload,
+    WorkloadResult,
+    _check,
+    close_env,
+    open_env,
+)
+
+SOURCE = """
+__kernel void sobel_gradient(__global float *img, __global float *out,
+                             int rows, int cols) {}
+__kernel void sobel_threshold(__global float *img, float level, int n) {}
+"""
+
+_KX = np.array([[-1, 0, 1], [-2, 0, 2], [-1, 0, 1]], dtype=np.float32)
+_KY = _KX.T.copy()
+
+
+def _convolve3(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    padded = np.pad(image, 1, mode="edge")
+    windows = np.lib.stride_tricks.sliding_window_view(padded, (3, 3))
+    return np.einsum("ijkl,kl->ij", windows, kernel).astype(np.float32)
+
+
+def _sobel(image: np.ndarray) -> np.ndarray:
+    gx = _convolve3(image, _KX)
+    gy = _convolve3(image, _KY)
+    return np.sqrt(gx * gx + gy * gy).astype(np.float32)
+
+
+@register_kernel("sobel_gradient", [BUFFER, BUFFER, SCALAR, SCALAR],
+                 flops_per_item=20.0, bytes_per_item=16.0)
+def _sobel_gradient(ctx: LaunchContext) -> None:
+    rows = int(ctx.scalar(2))
+    cols = int(ctx.scalar(3))
+    image = ctx.buf(0)[: rows * cols].reshape(rows, cols)
+    ctx.buf(1)[: rows * cols] = _sobel(image).reshape(-1)
+
+
+@register_kernel("sobel_threshold", [BUFFER, SCALAR, SCALAR],
+                 flops_per_item=1.0, bytes_per_item=8.0)
+def _sobel_threshold(ctx: LaunchContext) -> None:
+    level = float(ctx.scalar(1))
+    n = int(ctx.scalar(2))
+    data = ctx.buf(0)
+    data[:n] = np.where(data[:n] >= level, 1.0, 0.0)
+
+
+class SobelWorkload(OpenCLWorkload):
+    """Edge map of a synthetic image, via an OpenCL image object."""
+
+    name = "sobel"
+
+    def __init__(self, scale: float = 1.0, seed: int = 42) -> None:
+        super().__init__(scale, seed)
+        self.size = max(16, int(256 * scale))
+        self.level = 1.0
+
+    def _image(self) -> np.ndarray:
+        rng = np.random.default_rng(self.seed)
+        image = rng.random((self.size, self.size), dtype=np.float32) * 0.2
+        # paint rectangles so there are real edges to find
+        quarter = self.size // 4
+        image[quarter:-quarter, quarter:-quarter] += 0.8
+        return image
+
+    def reference(self) -> Dict[str, np.ndarray]:
+        edges = _sobel(self._image())
+        return {"edges": (edges >= self.level).astype(np.float32)}
+
+    def run(self, cl: Any) -> WorkloadResult:
+        image = self._image()
+        rows = cols = self.size
+        env = open_env(cl)
+        try:
+            err = OutBox()
+            # the image object: R channel, float32 — created through
+            # clCreateImage, filled via a write (host_ptr is unsupported
+            # for images in the spec; see specs/opencl.cava)
+            img = cl.clCreateImage(env.context, 0, types.CL_R,
+                                   types.CL_FLOAT, cols, rows, None, err)
+            _check(err.value, "clCreateImage")
+            env._mems.append(img)
+            env.write(img, image)
+
+            buf = bytearray(8)
+            _check(cl.clGetMemObjectInfo(img, types.CL_MEM_TYPE, 8, buf,
+                                         None), "clGetMemObjectInfo")
+            if int.from_bytes(bytes(buf), "little") != \
+                    types.CL_MEM_OBJECT_IMAGE2D:
+                return WorkloadResult(self.name, {}, False,
+                                      "image type query mismatch")
+
+            program = env.program(SOURCE)
+            gradient = env.kernel(program, "sobel_gradient")
+            threshold = env.kernel(program, "sobel_threshold")
+            out = env.buffer(image.nbytes)
+            env.set_args(gradient, img, out, rows, cols)
+            env.launch(gradient, [rows * cols])
+            env.set_args(threshold, out, float(self.level), rows * cols)
+            env.launch(threshold, [rows * cols])
+            env.finish()
+            got = env.read(out, image.nbytes).reshape(rows, cols)
+        finally:
+            close_env(env)
+        ok = bool((got == self.reference()["edges"]).all())
+        return WorkloadResult(self.name, {"edges": got}, ok,
+                              detail=f"{rows}x{cols} image")

@@ -1,0 +1,249 @@
+"""Tests for record/replay VM migration (§4.3)."""
+
+import numpy as np
+import pytest
+
+from repro.migration.recorder import CallRecorder
+from repro.migration.replayer import MigrationError, migrate_worker
+from repro.opencl import types
+from repro.remoting.buffers import OutBox
+from repro.remoting.codec import Command, Reply
+from repro.spec.model import RecordKind
+from repro.stack import make_hypervisor
+from repro.workloads import KMeansWorkload
+
+VECTOR_SRC = (
+    "__kernel void vector_add(__global float* a, __global float* b, "
+    "__global float* c, int n) {}"
+)
+
+
+def command(fn, seq=1, handles=None):
+    return Command(seq=seq, vm_id="vm", api="x", function=fn,
+                   handles=handles or {})
+
+
+class TestRecorderObjectTracking:
+    def test_creates_recorded(self):
+        recorder = CallRecorder()
+        recorder.record(command("make"), Reply(seq=1, new_handles={"h": 10}),
+                        RecordKind.CREATE)
+        assert len(recorder) == 1
+        assert recorder.live_created_ids() == {10}
+
+    def test_destroy_prunes_create(self):
+        recorder = CallRecorder()
+        recorder.record(command("make"), Reply(seq=1, new_handles={"h": 10}),
+                        RecordKind.CREATE)
+        recorder.record(command("free", handles={"h": 10}), Reply(seq=2),
+                        RecordKind.DESTROY)
+        assert len(recorder) == 0
+        assert recorder.pruned_calls == 1
+
+    def test_destroy_prunes_modifies_of_dead_object(self):
+        recorder = CallRecorder()
+        recorder.record(command("make"), Reply(seq=1, new_handles={"h": 10}),
+                        RecordKind.CREATE)
+        recorder.record(command("tweak", handles={"h": 10}), Reply(seq=2),
+                        RecordKind.MODIFY)
+        recorder.record(command("free", handles={"h": 10}), Reply(seq=3),
+                        RecordKind.DESTROY)
+        assert len(recorder) == 0
+
+    def test_unrelated_records_survive_destroy(self):
+        recorder = CallRecorder()
+        recorder.record(command("make", seq=1),
+                        Reply(seq=1, new_handles={"h": 10}),
+                        RecordKind.CREATE)
+        recorder.record(command("make", seq=2),
+                        Reply(seq=2, new_handles={"h": 11}),
+                        RecordKind.CREATE)
+        recorder.record(command("free", handles={"h": 10}), Reply(seq=3),
+                        RecordKind.DESTROY)
+        assert recorder.live_created_ids() == {11}
+
+    def test_config_calls_recorded(self):
+        recorder = CallRecorder()
+        recorder.record(command("init"), Reply(seq=1), RecordKind.CONFIG)
+        assert len(recorder) == 1
+
+    def test_handle_lists_tracked(self):
+        recorder = CallRecorder()
+        recorder.record(
+            command("makeAll"),
+            Reply(seq=1, new_handles={"hs": [20, 21]}),
+            RecordKind.CREATE,
+        )
+        assert recorder.live_created_ids() == {20, 21}
+
+
+def build_state(cl, n=64):
+    """Create context/queue/buffers/program/kernel with known contents."""
+    plats = [None]
+    cl.clGetPlatformIDs(1, plats, None)
+    devs = [None]
+    cl.clGetDeviceIDs(plats[0], types.CL_DEVICE_TYPE_GPU, 1, devs, None)
+    err = OutBox()
+    ctx = cl.clCreateContext(None, 1, devs, None, None, err)
+    queue = cl.clCreateCommandQueue(ctx, devs[0], 0, err)
+    data = np.arange(n, dtype=np.float32)
+    mem = cl.clCreateBuffer(ctx, types.CL_MEM_COPY_HOST_PTR, 4 * n, data,
+                            err)
+    prog = cl.clCreateProgramWithSource(ctx, 1, VECTOR_SRC, None, err)
+    cl.clBuildProgram(prog, 0, None, "", None, None)
+    kernel = cl.clCreateKernel(prog, "vector_add", err)
+    return {"ctx": ctx, "queue": queue, "mem": mem, "prog": prog,
+            "kernel": kernel, "data": data, "n": n}
+
+
+class TestWorkerMigration:
+    def test_handles_survive_migration(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-m")
+        cl = vm.library("opencl")
+        state = build_state(cl)
+        old_device = hv.worker("vm-m", "opencl").native_session.devices[0]
+
+        report = hv.migrate_vm("vm-m", "opencl")
+        assert report.replayed_calls >= 4
+        assert report.restored_buffers == 1
+        assert report.downtime > 0
+
+        new_device = hv.worker("vm-m", "opencl").native_session.devices[0]
+        assert new_device is not old_device
+
+        # the guest continues with its old handle values
+        out = np.zeros(state["n"], dtype=np.float32)
+        code = cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * state["n"], out,
+                                      0, None, None)
+        assert code == types.CL_SUCCESS
+        assert np.allclose(out, state["data"])
+
+    def test_workload_result_unchanged_by_midrun_migration(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-k")
+        cl = vm.library("opencl")
+        state = build_state(cl, n=128)
+        # mutate the buffer after creation so the snapshot matters
+        update = np.full(128, 7.5, dtype=np.float32)
+        cl.clEnqueueWriteBuffer(state["queue"], state["mem"], types.CL_TRUE,
+                                0, 4 * 128, update, 0, None, None)
+        hv.migrate_vm("vm-k", "opencl")
+        out = np.zeros(128, dtype=np.float32)
+        cl.clEnqueueReadBuffer(state["queue"], state["mem"], types.CL_TRUE,
+                               0, 4 * 128, out, 0, None, None)
+        assert np.allclose(out, update)
+
+    def test_full_workload_after_migration(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-w")
+        cl = vm.library("opencl")
+        build_state(cl)
+        hv.migrate_vm("vm-w", "opencl")
+        result = KMeansWorkload(scale=0.05).run(cl)
+        assert result.verified
+
+    def test_released_objects_not_replayed(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-r")
+        cl = vm.library("opencl")
+        state = build_state(cl)
+        err = OutBox()
+        extra = cl.clCreateBuffer(state["ctx"], 0, 256, None, err)
+        assert cl.clReleaseMemObject(extra) == 0
+        cl.clFinish(state["queue"])  # drain async release
+        worker = hv.worker("vm-r", "opencl")
+        assert extra not in worker.handles
+        report = hv.migrate_vm("vm-r", "opencl")
+        new_worker = hv.worker("vm-r", "opencl")
+        assert extra not in new_worker.handles
+        assert state["mem"] in new_worker.handles
+        assert report.restored_buffers == 1
+
+    def test_migrate_requires_fresh_target(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-x")
+        cl = vm.library("opencl")
+        build_state(cl)
+        source = hv.worker("vm-x", "opencl")
+        with pytest.raises(MigrationError):
+            migrate_worker(source, source)
+
+    def test_migrate_unknown_vm(self):
+        hv = make_hypervisor(apis=("opencl",))
+        with pytest.raises(KeyError):
+            hv.migrate_vm("ghost", "opencl")
+
+    def test_downtime_scales_with_buffer_bytes(self):
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-small")
+        cl = vm.library("opencl")
+        build_state(cl, n=64)
+        small = hv.migrate_vm("vm-small", "opencl")
+
+        hv2 = make_hypervisor(apis=("opencl",))
+        vm2 = hv2.create_vm("vm-big")
+        cl2 = vm2.library("opencl")
+        build_state(cl2, n=1 << 18)
+        big = hv2.migrate_vm("vm-big", "opencl")
+        assert big.snapshot_bytes > small.snapshot_bytes
+        assert big.downtime > small.downtime
+
+
+class TestMVNCMigration:
+    """Record/replay also covers the MVNC API: graphs survive moves."""
+
+    def test_graph_survives_migration(self):
+        import numpy as np
+        from repro.workloads.inception import build_inception_graph
+        from repro.mvnc import api as mvnc_api
+
+        hv = make_hypervisor(apis=("mvnc",))
+        vm = hv.create_vm("vm-ncs-m")
+        mv = vm.library("mvnc")
+
+        device = OutBox()
+        assert mv.mvncOpenDevice(None, device) == mvnc_api.MVNC_OK
+        blob = build_inception_graph(input_hw=32).serialize()
+        graph = OutBox()
+        assert mv.mvncAllocateGraph(device.value, graph, blob,
+                                    len(blob)) == mvnc_api.MVNC_OK
+
+        old_stick = hv.worker("vm-ncs-m", "mvnc").native_session.devices[0]
+        report = hv.migrate_vm("vm-ncs-m", "mvnc")
+        new_stick = hv.worker("vm-ncs-m", "mvnc").native_session.devices[0]
+        assert new_stick is not old_stick
+        assert report.replayed_calls >= 2
+
+        # inference works against the replayed graph, same handle values
+        image = np.random.default_rng(5).random(
+            (32, 32, 3)).astype(np.float16)
+        assert mv.mvncLoadTensor(graph.value, image, image.nbytes,
+                                 11) == mvnc_api.MVNC_OK
+        out = np.zeros(10, dtype=np.float16)
+        length, cookie = OutBox(), OutBox()
+        assert mv.mvncGetResult(graph.value, out, out.nbytes, length,
+                                cookie) == mvnc_api.MVNC_OK
+        assert cookie.value == 11
+        assert abs(float(out.sum()) - 1.0) < 0.05
+
+    def test_deallocated_graph_not_replayed(self):
+        from repro.workloads.inception import build_inception_graph
+        from repro.mvnc import api as mvnc_api
+
+        hv = make_hypervisor(apis=("mvnc",))
+        vm = hv.create_vm("vm-ncs-d")
+        mv = vm.library("mvnc")
+        device = OutBox()
+        mv.mvncOpenDevice(None, device)
+        blob = build_inception_graph(input_hw=32).serialize()
+        graph = OutBox()
+        mv.mvncAllocateGraph(device.value, graph, blob, len(blob))
+        assert mv.mvncDeallocateGraph(graph.value) == mvnc_api.MVNC_OK
+        worker = hv.worker("vm-ncs-d", "mvnc")
+        assert graph.value not in worker.handles
+        report = hv.migrate_vm("vm-ncs-d", "mvnc")
+        new_worker = hv.worker("vm-ncs-d", "mvnc")
+        assert graph.value not in new_worker.handles
+        assert device.value in new_worker.handles

@@ -1,0 +1,349 @@
+"""Tests for the 39-function C-shaped OpenCL API layer."""
+
+import numpy as np
+import pytest
+
+from repro.opencl import api, session, types
+from repro.remoting.buffers import OutBox
+
+SRC = (
+    "__kernel void vector_add(__global float* a, __global float* b, "
+    "__global float* c, int n) {}\n"
+    "__kernel void vector_scale(__global float* x, float alpha, int n) {}\n"
+)
+
+
+@pytest.fixture()
+def env():
+    with session() as sess:
+        err = OutBox()
+        plats = [None]
+        api.clGetPlatformIDs(1, plats, None)
+        devs = [None]
+        api.clGetDeviceIDs(plats[0], types.CL_DEVICE_TYPE_GPU, 1, devs, None)
+        ctx = api.clCreateContext(None, 1, devs, None, None, err)
+        assert err.value == types.CL_SUCCESS
+        queue = api.clCreateCommandQueue(ctx, devs[0], 0, err)
+        assert err.value == types.CL_SUCCESS
+        yield {
+            "session": sess,
+            "platform": plats[0],
+            "device": devs[0],
+            "ctx": ctx,
+            "queue": queue,
+        }
+
+
+class TestPlatformDevice:
+    def test_function_count_is_39(self):
+        assert len(api.FUNCTION_NAMES) == 39
+        for name in api.FUNCTION_NAMES:
+            assert callable(getattr(api, name))
+
+    def test_get_platform_ids_count_only(self, env):
+        box = OutBox()
+        assert api.clGetPlatformIDs(0, None, box) == types.CL_SUCCESS
+        assert box.value == 1
+
+    def test_get_platform_ids_requires_some_output(self, env):
+        assert api.clGetPlatformIDs(0, None, None) == types.CL_INVALID_VALUE
+
+    def test_platform_info_name(self, env):
+        buf = bytearray(128)
+        size_ret = OutBox()
+        code = api.clGetPlatformInfo(env["platform"], types.CL_PLATFORM_NAME,
+                                     128, buf, size_ret)
+        assert code == types.CL_SUCCESS
+        name = bytes(buf[:size_ret.value - 1]).decode()
+        assert "AvA" in name
+
+    def test_platform_info_too_small(self, env):
+        buf = bytearray(2)
+        code = api.clGetPlatformInfo(env["platform"], types.CL_PLATFORM_NAME,
+                                     2, buf, None)
+        assert code == types.CL_INVALID_VALUE
+
+    def test_platform_info_bad_param(self, env):
+        assert api.clGetPlatformInfo(env["platform"], 0xDEAD, 0, None,
+                                     OutBox()) == types.CL_INVALID_VALUE
+
+    def test_device_ids_type_filter(self, env):
+        box = OutBox()
+        code = api.clGetDeviceIDs(env["platform"], types.CL_DEVICE_TYPE_CPU,
+                                  0, None, box)
+        assert code == types.CL_DEVICE_NOT_FOUND
+
+    def test_device_info_numeric(self, env):
+        buf = bytearray(8)
+        code = api.clGetDeviceInfo(env["device"],
+                                   types.CL_DEVICE_MAX_COMPUTE_UNITS, 8, buf,
+                                   None)
+        assert code == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == \
+            env["device"].spec.compute_units
+
+    def test_invalid_device_rejected(self, env):
+        assert api.clGetDeviceInfo("junk", types.CL_DEVICE_NAME, 0, None,
+                                   OutBox()) == types.CL_INVALID_DEVICE
+
+
+class TestContextQueue:
+    def test_create_context_no_devices(self, env):
+        err = OutBox()
+        assert api.clCreateContext(None, 0, None, None, None, err) is None
+        assert err.value == types.CL_INVALID_VALUE
+
+    def test_retain_release_context(self, env):
+        assert api.clRetainContext(env["ctx"]) == types.CL_SUCCESS
+        assert api.clReleaseContext(env["ctx"]) == types.CL_SUCCESS
+        buf = bytearray(8)
+        assert api.clGetContextInfo(env["ctx"],
+                                    types.CL_CONTEXT_REFERENCE_COUNT, 8, buf,
+                                    None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 1
+
+    def test_queue_info(self, env):
+        buf = bytearray(8)
+        assert api.clGetCommandQueueInfo(
+            env["queue"], types.CL_QUEUE_REFERENCE_COUNT, 8, buf, None
+        ) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 1
+
+    def test_release_queue_finishes(self, env):
+        assert api.clReleaseCommandQueue(env["queue"]) == types.CL_SUCCESS
+
+    def test_bad_queue(self, env):
+        assert api.clFinish(42) == types.CL_INVALID_COMMAND_QUEUE
+
+
+class TestBuffers:
+    def test_create_with_copy_host_ptr(self, env):
+        err = OutBox()
+        data = np.arange(8, dtype=np.float32)
+        mem = api.clCreateBuffer(
+            env["ctx"], types.CL_MEM_COPY_HOST_PTR, 32, data, err
+        )
+        assert err.value == types.CL_SUCCESS
+        out = np.zeros(8, dtype=np.float32)
+        api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0, 32, out)
+        assert (out == data).all()
+
+    def test_copy_host_ptr_requires_host_ptr(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], types.CL_MEM_COPY_HOST_PTR, 32,
+                                 None, err)
+        assert mem is None
+        assert err.value == types.CL_INVALID_VALUE
+
+    def test_write_read_round_trip(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 16, None, err)
+        payload = np.arange(4, dtype=np.int32)
+        assert api.clEnqueueWriteBuffer(env["queue"], mem, types.CL_TRUE, 0,
+                                        16, payload) == types.CL_SUCCESS
+        out = np.zeros(4, dtype=np.int32)
+        assert api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0,
+                                       16, out) == types.CL_SUCCESS
+        assert (out == payload).all()
+
+    def test_copy_buffer(self, env):
+        err = OutBox()
+        src = api.clCreateBuffer(env["ctx"], 0, 8, None, err)
+        dst = api.clCreateBuffer(env["ctx"], 0, 8, None, err)
+        api.clEnqueueWriteBuffer(env["queue"], src, types.CL_TRUE, 0, 8,
+                                 b"abcdefgh")
+        assert api.clEnqueueCopyBuffer(env["queue"], src, dst, 0, 0,
+                                       8) == types.CL_SUCCESS
+        out = bytearray(8)
+        api.clEnqueueReadBuffer(env["queue"], dst, types.CL_TRUE, 0, 8, out)
+        assert out == b"abcdefgh"
+
+    def test_fill_buffer(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 8, None, err)
+        assert api.clEnqueueFillBuffer(env["queue"], mem, b"\x05", 1, 0,
+                                       8) == types.CL_SUCCESS
+        out = bytearray(8)
+        api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0, 8, out)
+        assert out == b"\x05" * 8
+
+    def test_mem_object_info(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], types.CL_MEM_READ_ONLY, 64,
+                                 None, err)
+        buf = bytearray(8)
+        assert api.clGetMemObjectInfo(mem, types.CL_MEM_SIZE, 8, buf,
+                                      None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 64
+
+    def test_release_mem_object(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 64, None, err)
+        assert api.clReleaseMemObject(mem) == types.CL_SUCCESS
+        assert api.clReleaseMemObject(mem) == types.CL_INVALID_MEM_OBJECT
+
+    def test_create_image(self, env):
+        err = OutBox()
+        img = api.clCreateImage(env["ctx"], 0, types.CL_RGBA, types.CL_FLOAT,
+                                16, 16, None, err)
+        assert err.value == types.CL_SUCCESS
+        assert img.size == 16 * 16 * 4 * 4
+        assert img.kind == types.CL_MEM_OBJECT_IMAGE2D
+
+    def test_create_image_bad_format(self, env):
+        err = OutBox()
+        assert api.clCreateImage(env["ctx"], 0, 0xBAD, types.CL_FLOAT, 4, 4,
+                                 None, err) is None
+        assert err.value == types.CL_INVALID_IMAGE_FORMAT_DESCRIPTOR
+
+    def test_wait_list_validation(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 8, None, err)
+        out = bytearray(8)
+        code = api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0, 8,
+                                       out, 2, None, None)
+        assert code == types.CL_INVALID_EVENT_WAIT_LIST
+
+
+class TestProgramsKernels:
+    def _built_program(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(env["ctx"], 1, SRC, None, err)
+        assert err.value == types.CL_SUCCESS
+        assert api.clBuildProgram(prog, 1, [env["device"]], "", None,
+                                  None) == types.CL_SUCCESS
+        return prog
+
+    def test_build_and_kernel_names(self, env):
+        prog = self._built_program(env)
+        buf = bytearray(256)
+        size_ret = OutBox()
+        assert api.clGetProgramInfo(prog, types.CL_PROGRAM_KERNEL_NAMES, 256,
+                                    buf, size_ret) == types.CL_SUCCESS
+        names = bytes(buf[:size_ret.value - 1]).decode()
+        assert "vector_add" in names and "vector_scale" in names
+
+    def test_build_failure_log(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(
+            env["ctx"], 1, "__kernel void missing_one_xyz(int a) {}", None,
+            err)
+        assert api.clBuildProgram(prog, 1, None, "", None,
+                                  None) == types.CL_BUILD_PROGRAM_FAILURE
+        buf = bytearray(512)
+        size_ret = OutBox()
+        api.clGetProgramBuildInfo(prog, env["device"],
+                                  types.CL_PROGRAM_BUILD_LOG, 512, buf,
+                                  size_ret)
+        assert b"missing_one_xyz" in bytes(buf)
+
+    def test_compile_program(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(env["ctx"], 1, SRC, None, err)
+        assert api.clCompileProgram(prog, 1, None, "", 0, None, None, None,
+                                    None) == types.CL_SUCCESS
+
+    def test_create_kernel_unknown(self, env):
+        prog = self._built_program(env)
+        err = OutBox()
+        assert api.clCreateKernel(prog, "nope", err) is None
+        assert err.value == types.CL_INVALID_KERNEL_NAME
+
+    def test_create_kernels_in_program(self, env):
+        prog = self._built_program(env)
+        count = OutBox()
+        assert api.clCreateKernelsInProgram(prog, 0, None,
+                                            count) == types.CL_SUCCESS
+        assert count.value == 2
+        kernels = [None, None]
+        assert api.clCreateKernelsInProgram(prog, 2, kernels,
+                                            None) == types.CL_SUCCESS
+        assert all(k is not None for k in kernels)
+
+    def test_kernel_info(self, env):
+        prog = self._built_program(env)
+        err = OutBox()
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        buf = bytearray(8)
+        assert api.clGetKernelInfo(kernel, types.CL_KERNEL_NUM_ARGS, 8, buf,
+                                   None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 4
+
+    def test_kernel_work_group_info(self, env):
+        prog = self._built_program(env)
+        err = OutBox()
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        buf = bytearray(8)
+        assert api.clGetKernelWorkGroupInfo(
+            kernel, env["device"], types.CL_KERNEL_WORK_GROUP_SIZE, 8, buf,
+            None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == \
+            env["device"].spec.max_work_group_size
+
+    def test_set_kernel_arg_bytes_scalar(self, env):
+        prog = self._built_program(env)
+        err = OutBox()
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        code = api.clSetKernelArg(kernel, 3, 4, (16).to_bytes(4, "little"))
+        assert code == types.CL_SUCCESS
+        assert kernel.args[3] == 16
+
+    def test_set_kernel_arg_bad_byte_width(self, env):
+        prog = self._built_program(env)
+        err = OutBox()
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        assert api.clSetKernelArg(kernel, 3, 3,
+                                  b"\x01\x02\x03") == types.CL_INVALID_ARG_SIZE
+
+
+class TestExecution:
+    def _vector_add_setup(self, env, n=64):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(env["ctx"], 1, SRC, None, err)
+        api.clBuildProgram(prog, 1, None, "", None, None)
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        a = np.full(n, 2.0, dtype=np.float32)
+        b = np.full(n, 3.0, dtype=np.float32)
+        mems = []
+        for host in (a, b, None):
+            flags = types.CL_MEM_COPY_HOST_PTR if host is not None else 0
+            mems.append(api.clCreateBuffer(env["ctx"], flags, 4 * n, host,
+                                           err))
+        for i, mem in enumerate(mems):
+            api.clSetKernelArg(kernel, i, 8, mem)
+        api.clSetKernelArg(kernel, 3, 4, n)
+        return kernel, mems, n
+
+    def test_ndrange_end_to_end(self, env):
+        kernel, mems, n = self._vector_add_setup(env)
+        event = OutBox()
+        assert api.clEnqueueNDRangeKernel(env["queue"], kernel, 1, None, [n],
+                                          None, 0, None,
+                                          event) == types.CL_SUCCESS
+        assert event.value.duration > 0
+        out = np.zeros(n, dtype=np.float32)
+        api.clEnqueueReadBuffer(env["queue"], mems[2], types.CL_TRUE, 0,
+                                4 * n, out)
+        assert (out == 5.0).all()
+
+    def test_ndrange_offset_unsupported(self, env):
+        kernel, _, n = self._vector_add_setup(env)
+        assert api.clEnqueueNDRangeKernel(env["queue"], kernel, 1, [1], [n],
+                                          None) == types.CL_INVALID_VALUE
+
+    def test_enqueue_task(self, env):
+        kernel, _, _ = self._vector_add_setup(env, n=1)
+        assert api.clEnqueueTask(env["queue"], kernel) == types.CL_SUCCESS
+
+    def test_flush_and_finish(self, env):
+        assert api.clFlush(env["queue"]) == types.CL_SUCCESS
+        assert api.clFinish(env["queue"]) == types.CL_SUCCESS
+
+    def test_missing_args_rejected(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(env["ctx"], 1, SRC, None, err)
+        api.clBuildProgram(prog, 1, None, "", None, None)
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        assert api.clEnqueueNDRangeKernel(
+            env["queue"], kernel, 1, None, [4], None
+        ) == types.CL_INVALID_KERNEL_ARGS

@@ -1,0 +1,221 @@
+"""Error-path and info-query coverage for the mini-OpenCL API layer.
+
+The silo's error behaviour matters to AvA: native error codes must
+travel faithfully through the remoting stack, which requires the native
+layer itself to be rigorous about them.
+"""
+
+import numpy as np
+import pytest
+
+from repro.opencl import api, session, types
+from repro.remoting.buffers import OutBox
+
+
+@pytest.fixture()
+def env():
+    with session() as sess:
+        plats = [None]
+        api.clGetPlatformIDs(1, plats, None)
+        devs = [None]
+        api.clGetDeviceIDs(plats[0], types.CL_DEVICE_TYPE_GPU, 1, devs,
+                           None)
+        err = OutBox()
+        ctx = api.clCreateContext(None, 1, devs, None, None, err)
+        queue = api.clCreateCommandQueue(ctx, devs[0], 0, err)
+        yield {"session": sess, "platform": plats[0], "device": devs[0],
+               "ctx": ctx, "queue": queue}
+
+
+class TestDiscoveryErrorPaths:
+    def test_get_platform_ids_zero_entries_with_array(self, env):
+        assert api.clGetPlatformIDs(0, [None], OutBox()) == \
+            types.CL_INVALID_VALUE
+
+    def test_get_device_ids_zero_entries_with_array(self, env):
+        assert api.clGetDeviceIDs(env["platform"],
+                                  types.CL_DEVICE_TYPE_GPU, 0, [None],
+                                  OutBox()) == types.CL_INVALID_VALUE
+
+    def test_device_type_all_matches(self, env):
+        count = OutBox()
+        assert api.clGetDeviceIDs(env["platform"],
+                                  types.CL_DEVICE_TYPE_ALL, 0, None,
+                                  count) == types.CL_SUCCESS
+        assert count.value == 1
+
+    def test_bad_platform_object(self, env):
+        assert api.clGetDeviceIDs("junk", types.CL_DEVICE_TYPE_GPU, 0,
+                                  None, OutBox()) == \
+            types.CL_INVALID_PLATFORM
+
+    def test_device_info_string_values(self, env):
+        for param in (types.CL_DEVICE_NAME, types.CL_DEVICE_VENDOR,
+                      types.CL_DEVICE_VERSION):
+            buf = bytearray(128)
+            size_ret = OutBox()
+            assert api.clGetDeviceInfo(env["device"], param, 128, buf,
+                                       size_ret) == types.CL_SUCCESS
+            assert size_ret.value > 1
+
+    def test_device_info_numeric_values(self, env):
+        spec = env["device"].spec
+        expectations = {
+            types.CL_DEVICE_TYPE: spec.device_type,
+            types.CL_DEVICE_MAX_CLOCK_FREQUENCY: spec.clock_mhz,
+            types.CL_DEVICE_GLOBAL_MEM_SIZE: spec.global_mem_bytes,
+            types.CL_DEVICE_LOCAL_MEM_SIZE: spec.local_mem_bytes,
+            types.CL_DEVICE_MAX_WORK_GROUP_SIZE: spec.max_work_group_size,
+        }
+        for param, expected in expectations.items():
+            buf = bytearray(8)
+            assert api.clGetDeviceInfo(env["device"], param, 8, buf,
+                                       None) == types.CL_SUCCESS
+            assert int.from_bytes(bytes(buf), "little") == expected
+
+    def test_size_query_without_buffer(self, env):
+        size_ret = OutBox()
+        assert api.clGetDeviceInfo(env["device"], types.CL_DEVICE_NAME, 0,
+                                   None, size_ret) == types.CL_SUCCESS
+        assert size_ret.value > 0
+
+
+class TestContextQueueErrorPaths:
+    def test_context_from_foreign_device(self, env):
+        from repro.opencl.device import SimulatedGPU
+
+        err = OutBox()
+        foreign = SimulatedGPU()
+        assert api.clCreateContext(None, 1, [foreign], None, None,
+                                   err) is None
+        assert err.value == types.CL_INVALID_DEVICE
+
+    def test_queue_from_released_context(self, env):
+        err = OutBox()
+        ctx = api.clCreateContext(None, 1, [env["device"]], None, None, err)
+        api.clReleaseContext(ctx)
+        assert api.clCreateCommandQueue(ctx, env["device"], 0, err) is None
+        assert err.value == types.CL_INVALID_CONTEXT
+
+    def test_queue_info_bad_param(self, env):
+        assert api.clGetCommandQueueInfo(env["queue"], 0xDEAD, 8,
+                                         bytearray(8), None) == \
+            types.CL_INVALID_VALUE
+
+    def test_context_info_num_devices(self, env):
+        buf = bytearray(8)
+        assert api.clGetContextInfo(env["ctx"],
+                                    types.CL_CONTEXT_NUM_DEVICES, 8, buf,
+                                    None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 1
+
+
+class TestTransferErrorPaths:
+    def test_read_null_ptr(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 16, None, err)
+        assert api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0,
+                                       16, None) == types.CL_INVALID_VALUE
+
+    def test_write_short_host_buffer(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 64, None, err)
+        short = np.zeros(4, dtype=np.float32)  # 16 bytes < 64
+        assert api.clEnqueueWriteBuffer(env["queue"], mem, types.CL_TRUE,
+                                        0, 64, short) == \
+            types.CL_INVALID_VALUE
+
+    def test_copy_out_of_range(self, env):
+        err = OutBox()
+        src = api.clCreateBuffer(env["ctx"], 0, 16, None, err)
+        dst = api.clCreateBuffer(env["ctx"], 0, 16, None, err)
+        assert api.clEnqueueCopyBuffer(env["queue"], src, dst, 8, 0,
+                                       16) == types.CL_INVALID_VALUE
+
+    def test_fill_bad_pattern_multiple(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 10, None, err)
+        assert api.clEnqueueFillBuffer(env["queue"], mem, b"abc", 3, 0,
+                                       10) == types.CL_INVALID_VALUE
+
+    def test_released_buffer_rejected(self, env):
+        err = OutBox()
+        mem = api.clCreateBuffer(env["ctx"], 0, 16, None, err)
+        api.clReleaseMemObject(mem)
+        out = bytearray(16)
+        assert api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0,
+                                       16, out) == \
+            types.CL_INVALID_MEM_OBJECT
+
+    def test_use_host_ptr_copies_initial_contents(self, env):
+        err = OutBox()
+        data = np.full(8, 3.0, dtype=np.float32)
+        mem = api.clCreateBuffer(env["ctx"], types.CL_MEM_USE_HOST_PTR,
+                                 32, data, err)
+        assert err.value == types.CL_SUCCESS
+        out = np.zeros(8, dtype=np.float32)
+        api.clEnqueueReadBuffer(env["queue"], mem, types.CL_TRUE, 0, 32,
+                                out)
+        assert (out == 3.0).all()
+
+
+class TestProgramKernelErrorPaths:
+    def test_empty_source_rejected(self, env):
+        err = OutBox()
+        assert api.clCreateProgramWithSource(env["ctx"], 1, "   ", None,
+                                             err) is None
+        assert err.value == types.CL_INVALID_VALUE
+
+    def test_multi_string_sources_joined(self, env):
+        err = OutBox()
+        pieces = ["__kernel void ", "vector_add(__global float* a, "
+                  "__global float* b, __global float* c, int n) {}"]
+        prog = api.clCreateProgramWithSource(env["ctx"], 2, pieces, None,
+                                             err)
+        assert err.value == types.CL_SUCCESS
+        assert api.clBuildProgram(prog, 0, None, "", None, None) == \
+            types.CL_SUCCESS
+
+    def test_kernel_from_unbuilt_program(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(
+            env["ctx"], 1,
+            "__kernel void vector_add(__global float* a, __global float* "
+            "b, __global float* c, int n) {}", None, err)
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        assert kernel is None
+        assert err.value == types.CL_INVALID_PROGRAM_EXECUTABLE
+
+    def test_kernels_in_program_small_array(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(
+            env["ctx"], 1,
+            "__kernel void vector_add(__global float* a, __global float* "
+            "b, __global float* c, int n) {}\n"
+            "__kernel void vector_scale(__global float* x, float alpha, "
+            "int n) {}", None, err)
+        api.clBuildProgram(prog, 0, None, "", None, None)
+        assert api.clCreateKernelsInProgram(prog, 1, [None],
+                                            None) == types.CL_INVALID_VALUE
+
+    def test_compile_program_no_kernels(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(env["ctx"], 1,
+                                             "int helper;", None, err)
+        assert api.clCompileProgram(prog, 0, None, "", 0, None, None, None,
+                                    None) == types.CL_BUILD_PROGRAM_FAILURE
+
+    def test_work_group_info_preferred_multiple(self, env):
+        err = OutBox()
+        prog = api.clCreateProgramWithSource(
+            env["ctx"], 1,
+            "__kernel void vector_add(__global float* a, __global float* "
+            "b, __global float* c, int n) {}", None, err)
+        api.clBuildProgram(prog, 0, None, "", None, None)
+        kernel = api.clCreateKernel(prog, "vector_add", err)
+        buf = bytearray(8)
+        assert api.clGetKernelWorkGroupInfo(
+            kernel, env["device"],
+            types.CL_KERNEL_PREFERRED_WORK_GROUP_SIZE_MULTIPLE, 8, buf,
+            None) == types.CL_SUCCESS
+        assert int.from_bytes(bytes(buf), "little") == 32

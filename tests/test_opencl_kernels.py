@@ -1,0 +1,161 @@
+"""Unit tests for the kernel registry and simulated compiler."""
+
+import numpy as np
+import pytest
+
+from repro.opencl.errors import CLError
+from repro.opencl.kernels import (
+    BUFFER,
+    REGISTRY,
+    SCALAR,
+    LaunchContext,
+    build_program,
+    declared_kernels,
+    register_kernel,
+)
+
+
+class FakeMem:
+    def __init__(self, size):
+        self.data = np.zeros(size, dtype=np.uint8)
+
+
+class TestDeclarationScanner:
+    def test_single_kernel(self):
+        source = "__kernel void vector_add(__global float *a) { }"
+        assert declared_kernels(source) == ["vector_add"]
+
+    def test_multiple_kernels_in_order(self):
+        source = """
+        __kernel void alpha(int x) {}
+        /* comment */
+        __kernel void beta(float y) {}
+        """
+        assert declared_kernels(source) == ["alpha", "beta"]
+
+    def test_no_kernels(self):
+        assert declared_kernels("int helper(void) { return 1; }") == []
+
+    def test_pointer_return_style(self):
+        assert declared_kernels("__kernel void  spaced_name (int a)") == [
+            "spaced_name"
+        ]
+
+
+class TestBuildProgram:
+    def test_build_resolves_registered(self):
+        resolved, log = build_program(
+            "__kernel void vector_add(float *a, float *b, float *c, int n) {}"
+        )
+        assert "vector_add" in resolved
+        assert "build succeeded" in log
+
+    def test_build_missing_kernel_fails_with_log(self):
+        with pytest.raises(CLError) as info:
+            build_program("__kernel void totally_unknown_kernel_xyz(int a) {}")
+        assert "totally_unknown_kernel_xyz" in str(info.value)
+
+    def test_build_empty_source_fails(self):
+        with pytest.raises(CLError):
+            build_program("int nothing;")
+
+    def test_options_echoed_in_log(self):
+        _, log = build_program(
+            "__kernel void vector_add(float *a, float *b, float *c, int n) {}",
+            options="-cl-fast-relaxed-math",
+        )
+        assert "-cl-fast-relaxed-math" in log
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        @register_kernel("test_kernel_reg_1", [BUFFER, SCALAR])
+        def impl(ctx):
+            pass
+
+        found = REGISTRY.lookup("test_kernel_reg_1")
+        assert found.num_args == 2
+        assert found.arg_kinds == (BUFFER, SCALAR)
+
+    def test_bad_arg_kind_rejected(self):
+        with pytest.raises(ValueError):
+            register_kernel("bad", ["weird"])
+
+    def test_lookup_missing_raises_keyerror(self):
+        with pytest.raises(KeyError):
+            REGISTRY.lookup("never_registered_anywhere")
+
+    def test_contains(self):
+        assert "vector_add" in REGISTRY
+        assert "nope_nope" not in REGISTRY
+
+    def test_cost_metadata(self):
+        @register_kernel("test_kernel_costed", [BUFFER],
+                         flops_per_item=7.0, bytes_per_item=3.0,
+                         efficiency=0.5)
+        def impl(ctx):
+            pass
+
+        cost = REGISTRY.lookup("test_kernel_costed").cost
+        assert cost.flops_per_item == 7.0
+        assert cost.bytes_per_item == 3.0
+        assert cost.efficiency == 0.5
+
+
+class TestLaunchContext:
+    def test_work_items_product(self):
+        ctx = LaunchContext(global_size=(4, 8), local_size=None)
+        assert ctx.work_items == 32
+
+    def test_buf_typed_view_shares_storage(self):
+        mem = FakeMem(16)
+        ctx = LaunchContext(global_size=(4,), local_size=None, args=[mem])
+        view = ctx.buf(0, np.float32)
+        view[0] = 2.5
+        assert np.frombuffer(mem.data, dtype=np.float32)[0] == 2.5
+
+    def test_buf_on_scalar_raises(self):
+        ctx = LaunchContext(global_size=(1,), local_size=None, args=[3])
+        with pytest.raises(CLError):
+            ctx.buf(0)
+
+    def test_scalar_on_buffer_raises(self):
+        ctx = LaunchContext(global_size=(1,), local_size=None,
+                            args=[FakeMem(4)])
+        with pytest.raises(CLError):
+            ctx.scalar(0)
+
+
+class TestBuiltinKernels:
+    def _launch(self, name, args, global_size=(16,)):
+        impl = REGISTRY.lookup(name)
+        ctx = LaunchContext(global_size=global_size, local_size=None,
+                            args=args)
+        impl.fn(ctx)
+        return ctx
+
+    def test_vector_add(self):
+        a, b, c = FakeMem(64), FakeMem(64), FakeMem(64)
+        a.data.view(np.float32)[:] = 2.0
+        b.data.view(np.float32)[:] = 3.0
+        self._launch("vector_add", [a, b, c, 16])
+        assert (c.data.view(np.float32) == 5.0).all()
+
+    def test_vector_scale(self):
+        x = FakeMem(64)
+        x.data.view(np.float32)[:] = 2.0
+        self._launch("vector_scale", [x, 2.5, 16])
+        assert (x.data.view(np.float32) == 5.0).all()
+
+    def test_saxpy(self):
+        x, y = FakeMem(64), FakeMem(64)
+        x.data.view(np.float32)[:] = 1.0
+        y.data.view(np.float32)[:] = 1.0
+        self._launch("saxpy", [3.0, x, y, 16])
+        assert (y.data.view(np.float32) == 4.0).all()
+
+    def test_reduce_sum(self):
+        x, out = FakeMem(64), FakeMem(4)
+        x.data.view(np.float32)[:] = 1.5
+        self._launch("reduce_sum", [x, out, 16])
+        assert out.data.view(np.float32)[0] == pytest.approx(24.0)

@@ -1,0 +1,109 @@
+"""Unit tests for buffer helpers."""
+
+import numpy as np
+import pytest
+
+from repro.remoting.buffers import (
+    OutBox,
+    as_byte_view,
+    byte_size_of,
+    read_bytes,
+    write_back,
+)
+
+
+class TestOutBox:
+    def test_default_none(self):
+        box = OutBox()
+        assert box.value is None
+
+    def test_set_and_get(self):
+        box = OutBox()
+        box.value = 42
+        assert box.value == 42
+        assert box[0] == 42
+
+    def test_initial_value(self):
+        assert OutBox("x").value == "x"
+
+    def test_is_single_slot_list(self):
+        assert len(OutBox()) == 1
+
+
+class TestByteSizeOf:
+    def test_numpy(self):
+        assert byte_size_of(np.zeros(10, dtype=np.float32)) == 40
+
+    def test_bytes(self):
+        assert byte_size_of(b"abcd") == 4
+        assert byte_size_of(bytearray(5)) == 5
+
+    def test_str_utf8(self):
+        assert byte_size_of("héllo") == 6
+
+    def test_none_is_zero(self):
+        assert byte_size_of(None) == 0
+
+    def test_outbox_is_word(self):
+        assert byte_size_of(OutBox()) == 8
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            byte_size_of(3.14)
+
+
+class TestReadBytes:
+    def test_numpy_round_trip(self):
+        array = np.arange(4, dtype=np.int32)
+        assert read_bytes(array) == array.tobytes()
+
+    def test_limit_truncates(self):
+        assert read_bytes(b"abcdef", limit=3) == b"abc"
+
+    def test_negative_limit_raises(self):
+        with pytest.raises(ValueError):
+            read_bytes(b"abc", limit=-1)
+
+    def test_string_utf8(self):
+        assert read_bytes("hi") == b"hi"
+
+    def test_none_is_empty(self):
+        assert read_bytes(None) == b""
+
+
+class TestWriteBack:
+    def test_numpy_in_place(self):
+        target = np.zeros(4, dtype=np.int32)
+        source = np.arange(4, dtype=np.int32)
+        write_back(target, source.tobytes())
+        assert (target == source).all()
+
+    def test_bytearray_in_place(self):
+        target = bytearray(4)
+        write_back(target, b"\x01\x02\x03\x04")
+        assert target == bytearray([1, 2, 3, 4])
+
+    def test_partial_write_allowed(self):
+        target = bytearray(8)
+        write_back(target, b"ab")
+        assert target[:2] == b"ab"
+        assert target[2:] == bytes(6)
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            write_back(bytearray(2), b"abcd")
+
+    def test_readonly_array_rejected(self):
+        target = np.zeros(4, dtype=np.uint8)
+        target.flags.writeable = False
+        with pytest.raises(ValueError):
+            write_back(target, b"\x01")
+
+    def test_immutable_bytes_rejected(self):
+        with pytest.raises(TypeError):
+            write_back(b"abcd", b"x")
+
+    def test_noncontiguous_view(self):
+        base = np.zeros((4, 4), dtype=np.uint8)
+        view = as_byte_view(base)
+        assert len(view) == 16

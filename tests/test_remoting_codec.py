@@ -1,0 +1,167 @@
+"""Unit and property tests for the wire codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.remoting.codec import (
+    CodecError,
+    Command,
+    Reply,
+    WireCodec,
+    decode_message,
+    decode_value,
+    encode_message,
+    encode_value,
+)
+
+
+def wire_values():
+    scalars = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**62), max_value=2**62),
+        st.floats(allow_nan=False, allow_infinity=False),
+        st.text(max_size=40),
+        st.binary(max_size=40),
+    )
+    return st.recursive(
+        scalars,
+        lambda children: st.one_of(
+            st.lists(children, max_size=5),
+            st.dictionaries(st.text(max_size=10), children, max_size=5),
+        ),
+        max_leaves=20,
+    )
+
+
+class TestTaggedValues:
+    @given(wire_values())
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_bool_distinct_from_int(self):
+        assert decode_value(encode_value(True)) is True
+        assert decode_value(encode_value(1)) == 1
+        assert decode_value(encode_value(1)) is not True
+
+    def test_bytes_and_str_distinct(self):
+        assert decode_value(encode_value(b"abc")) == b"abc"
+        assert decode_value(encode_value("abc")) == "abc"
+
+    def test_unencodable_raises(self):
+        with pytest.raises(CodecError):
+            encode_value(object())
+
+    def test_non_string_dict_key_raises(self):
+        with pytest.raises(CodecError):
+            encode_value({1: "x"})
+
+    def test_truncated_data_raises(self):
+        data = encode_value("hello world")
+        with pytest.raises(CodecError):
+            decode_value(data[:-3])
+
+    def test_trailing_bytes_raise(self):
+        with pytest.raises(CodecError):
+            decode_value(encode_value(1) + b"x")
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(CodecError):
+            decode_value(b"Z")
+
+
+class TestCommandReply:
+    def make_command(self):
+        return Command(
+            seq=7,
+            vm_id="vm-1",
+            api="opencl",
+            function="clEnqueueWriteBuffer",
+            mode="async",
+            scalars={"size": 4096, "blocking": False},
+            handles={"queue": 0x1001, "waits": [0x1002, 0x1003], "evt": None},
+            in_buffers={"ptr": b"\x00" * 64},
+            out_sizes={"result": 16},
+            issue_time=1.25,
+        )
+
+    def test_command_round_trip(self):
+        cmd = self.make_command()
+        again = decode_message(encode_message(cmd))
+        assert isinstance(again, Command)
+        assert again == cmd
+
+    def test_reply_round_trip(self):
+        reply = Reply(
+            seq=7,
+            return_value=0,
+            out_payloads={"ptr": b"\x01\x02"},
+            new_handles={"event": 0x2001},
+            error=None,
+            complete_time=3.5,
+        )
+        again = decode_message(encode_message(reply))
+        assert isinstance(again, Reply)
+        assert again == reply
+
+    def test_error_reply_round_trip(self):
+        reply = Reply(seq=1, error="CL_INVALID_VALUE")
+        assert decode_message(encode_message(reply)).error == "CL_INVALID_VALUE"
+
+    def test_payload_bytes(self):
+        cmd = self.make_command()
+        assert cmd.payload_bytes() == 64
+        reply = Reply(seq=1, out_payloads={"a": b"123", "b": b"4567"})
+        assert reply.payload_bytes() == 7
+
+    def test_message_magic_checked(self):
+        data = bytearray(encode_message(self.make_command()))
+        data[0] = 0x00
+        with pytest.raises(CodecError):
+            decode_message(bytes(data))
+
+    def test_short_message_rejected(self):
+        with pytest.raises(CodecError):
+            decode_message(b"\xabC")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(CodecError):
+            Command.from_wire_dict({"seq": 1})
+
+
+class TestStreamFraming:
+    def test_messages_survive_arbitrary_chunking(self):
+        cmd = Command(seq=1, vm_id="v", api="a", function="f")
+        reply = Reply(seq=1, return_value=0)
+        stream = encode_message(cmd) + encode_message(reply)
+        codec = WireCodec()
+        received = []
+        for i in range(0, len(stream), 3):
+            codec.feed(stream[i:i + 3])
+            received.extend(codec.messages())
+        assert len(received) == 2
+        assert received[0] == cmd
+        assert received[1] == reply
+
+    def test_partial_message_not_delivered(self):
+        codec = WireCodec()
+        data = encode_message(Command(seq=1, vm_id="v", api="a", function="f"))
+        codec.feed(data[:10])
+        assert codec.messages() == []
+        codec.feed(data[10:])
+        assert len(codec.messages()) == 1
+
+    @given(st.integers(min_value=1, max_value=64))
+    def test_chunk_size_invariance(self, chunk):
+        commands = [
+            Command(seq=i, vm_id="v", api="a", function=f"fn{i}",
+                    in_buffers={"d": bytes(range(i % 20))})
+            for i in range(5)
+        ]
+        stream = b"".join(encode_message(c) for c in commands)
+        codec = WireCodec()
+        received = []
+        for i in range(0, len(stream), chunk):
+            codec.feed(stream[i:i + chunk])
+            received.extend(codec.messages())
+        assert received == commands

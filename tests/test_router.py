@@ -1,0 +1,168 @@
+"""Tests for the hypervisor invocation router (interposition point)."""
+
+import pytest
+
+from repro.hypervisor.policy import RateLimiter, ResourcePolicy, VMPolicy
+from repro.hypervisor.router import Router, RoutingInfo, RoutingTable
+from repro.remoting.codec import Command, Reply, decode_message, encode_message
+from repro.spec import parse_spec
+from repro.spec.model import RecordKind
+
+
+class StubWorker:
+    def __init__(self):
+        self.executed = []
+
+    def execute(self, command, release):
+        self.executed.append((command, release))
+        return Reply(seq=command.seq, return_value=0, complete_time=release)
+
+
+@pytest.fixture()
+def setup():
+    worker = StubWorker()
+    router = Router(lambda vm, api: worker)
+    table = RoutingTable(api="testapi")
+    table.functions["doWork"] = RoutingInfo(name="doWork")
+    router.register_api(table)
+    router.register_vm("vm1")
+    return router, worker
+
+
+def send(router, command, arrival=0.0):
+    return decode_message(router.deliver(encode_message(command), arrival))
+
+
+def make_command(function="doWork", vm="vm1", **kwargs):
+    return Command(seq=1, vm_id=vm, api="testapi", function=function,
+                   **kwargs)
+
+
+class TestVerification:
+    def test_known_function_dispatched(self, setup):
+        router, worker = setup
+        reply = send(router, make_command())
+        assert reply.error is None
+        assert len(worker.executed) == 1
+
+    def test_unknown_vm_rejected(self, setup):
+        router, worker = setup
+        reply = send(router, make_command(vm="intruder"))
+        assert "unknown VM" in reply.error
+        assert not worker.executed
+
+    def test_unknown_api_rejected(self, setup):
+        router, worker = setup
+        command = make_command()
+        command.api = "nope"
+        reply = send(router, command)
+        assert "unknown API" in reply.error
+
+    def test_unknown_function_rejected(self, setup):
+        router, worker = setup
+        reply = send(router, make_command(function="sneaky"))
+        assert "does not route" in reply.error
+        assert router.metrics_for("vm1").rejected == 1
+
+    def test_oversized_payload_rejected(self, setup):
+        router, _ = setup
+        router.max_payload_bytes = 10
+        reply = send(router, make_command(in_buffers={"d": b"x" * 100}))
+        assert "exceeds router limit" in reply.error
+
+    def test_bad_out_size_rejected(self, setup):
+        router, _ = setup
+        reply = send(router, make_command(out_sizes={"p": -5}))
+        assert "bad out-size" in reply.error
+
+    def test_oversized_out_buffer_rejected(self, setup):
+        router, _ = setup
+        router.max_payload_bytes = 100
+        reply = send(router, make_command(out_sizes={"p": 10_000}))
+        assert "exceeds router limit" in reply.error
+
+    def test_malformed_bytes_rejected(self, setup):
+        router, _ = setup
+        reply = decode_message(router.deliver(b"garbage-not-a-frame", 0.0))
+        assert "malformed" in reply.error
+
+    def test_reply_message_rejected(self, setup):
+        router, _ = setup
+        wire = encode_message(Reply(seq=1))
+        reply = decode_message(router.deliver(wire, 0.0))
+        assert "expected a command" in reply.error
+
+    def test_missing_worker_reported(self):
+        router = Router(lambda vm, api: None)
+        table = RoutingTable(api="testapi")
+        table.functions["doWork"] = RoutingInfo(name="doWork")
+        router.register_api(table)
+        router.register_vm("vm1")
+        reply = send(router, make_command())
+        assert "no API server" in reply.error
+
+
+class TestSchedulingAndAccounting:
+    def test_interposition_cost_added(self, setup):
+        router, worker = setup
+        send(router, make_command(), arrival=1.0)
+        _, release = worker.executed[0]
+        assert release == pytest.approx(1.0 + router.interposition_cost)
+
+    def test_rate_limiter_delays_release(self):
+        policy = ResourcePolicy()
+        policy.set_policy("vm1", VMPolicy(command_rate=10.0, command_burst=1))
+        worker = StubWorker()
+        router = Router(lambda vm, api: worker,
+                        rate_limiter=RateLimiter(policy))
+        table = RoutingTable(api="testapi")
+        table.functions["doWork"] = RoutingInfo(name="doWork")
+        router.register_api(table)
+        router.register_vm("vm1")
+        send(router, make_command(), arrival=0.0)
+        send(router, make_command(), arrival=0.0)
+        _, release2 = worker.executed[1]
+        assert release2 >= 0.1
+        assert router.metrics_for("vm1").rate_delay > 0
+
+    def test_per_function_counters(self, setup):
+        router, _ = setup
+        send(router, make_command())
+        send(router, make_command())
+        metrics = router.metrics_for("vm1")
+        assert metrics.commands == 2
+        assert metrics.per_function["doWork"] == 2
+
+    def test_payload_bytes_accounted(self, setup):
+        router, _ = setup
+        send(router, make_command(in_buffers={"d": b"x" * 64}))
+        assert router.metrics_for("vm1").payload_bytes == 64
+
+    def test_resource_estimates_from_consumes(self):
+        spec = parse_spec(
+            "api(testapi);\n"
+            "int copyData(int dst, size_t nbytes) "
+            "{ consumes(bus_bytes, nbytes); }"
+        )
+        worker = StubWorker()
+        router = Router(lambda vm, api: worker)
+        router.register_api(RoutingTable.from_spec(spec))
+        router.register_vm("vm1")
+        command = make_command(function="copyData",
+                               scalars={"dst": 1, "nbytes": 4096})
+        send(router, command)
+        assert router.metrics_for("vm1").resources["bus_bytes"] == 4096
+
+
+class TestRoutingTableFromSpec:
+    def test_functions_and_records(self):
+        spec = parse_spec(
+            "api(x);\n"
+            "int clCreateThing(int ctx);\n"
+            "int weird(int a) { unsupported; }\n"
+        )
+        table = RoutingTable.from_spec(spec)
+        assert "clCreateThing" in table.functions
+        assert "weird" not in table.functions  # unsupported not routed
+        assert table.functions["clCreateThing"].record_kind is \
+            RecordKind.CREATE

@@ -1,0 +1,133 @@
+"""Unit tests for the mini C header parser."""
+
+import pytest
+
+from repro.spec.cparser import parse_header
+from repro.spec.errors import SpecSyntaxError
+
+OPENCL_SNIPPET = """
+#ifndef MINI_CL_H
+#define MINI_CL_H
+#define CL_SUCCESS 0
+#define CL_TRUE 1
+#define CL_FALSE 0
+#define CL_MEM_READ_ONLY 0x4
+
+typedef int cl_int;
+typedef unsigned int cl_uint;
+typedef unsigned int cl_bool;
+typedef unsigned long cl_ulong;
+typedef struct _cl_platform_id *cl_platform_id;
+typedef struct _cl_mem *cl_mem;
+
+cl_int clGetPlatformIDs(cl_uint num_entries, cl_platform_id *platforms,
+                        cl_uint *num_platforms);
+cl_mem clCreateBuffer(cl_mem context, cl_ulong flags, size_t size,
+                      void *host_ptr, cl_int *errcode_ret);
+#endif
+"""
+
+
+class TestConstants:
+    def test_numeric_defines_collected(self):
+        info = parse_header(OPENCL_SNIPPET)
+        assert info.constants["CL_SUCCESS"] == 0
+        assert info.constants["CL_TRUE"] == 1
+        assert info.constants["CL_MEM_READ_ONLY"] == 4
+
+    def test_include_guard_define_ignored(self):
+        info = parse_header(OPENCL_SNIPPET)
+        assert "MINI_CL_H" not in info.constants
+
+    def test_function_like_macro_ignored(self):
+        info = parse_header("#define MAX(a,b) ((a)>(b)?(a):(b))\n")
+        assert not info.constants
+
+    def test_float_define(self):
+        info = parse_header("#define PI 3.14\n")
+        assert info.constants["PI"] == pytest.approx(3.14)
+
+
+class TestTypedefs:
+    def test_scalar_typedef(self):
+        info = parse_header("typedef int cl_int;")
+        assert "cl_int" in info.typedefs
+        assert not info.typedefs["cl_int"].is_struct_pointer
+        assert info.typedefs["cl_int"].size_bytes == 4
+
+    def test_multiword_typedef(self):
+        info = parse_header("typedef unsigned long cl_ulong;")
+        assert info.typedefs["cl_ulong"].size_bytes == 8
+
+    def test_struct_pointer_is_handle(self):
+        info = parse_header("typedef struct _cl_mem *cl_mem;")
+        assert info.typedefs["cl_mem"].is_struct_pointer
+        assert info.is_handle_type("cl_mem")
+        assert info.typedefs["cl_mem"].size_bytes == 8
+
+    def test_non_handle_queries(self):
+        info = parse_header("typedef int cl_int;")
+        assert not info.is_handle_type("cl_int")
+        assert not info.is_handle_type("unknown")
+
+    def test_sizeof_fallbacks(self):
+        info = parse_header("")
+        assert info.sizeof("int") == 4
+        assert info.sizeof("mystery") == 8
+
+
+class TestFunctionDecls:
+    def test_basic_prototype(self):
+        info = parse_header(OPENCL_SNIPPET)
+        decl = next(f for f in info.functions if f.name == "clGetPlatformIDs")
+        assert str(decl.return_type) == "cl_int"
+        names = [n for n, _ in decl.params]
+        assert names == ["num_entries", "platforms", "num_platforms"]
+        assert decl.params[1][1].pointer_depth == 1
+
+    def test_const_pointer_param(self):
+        info = parse_header(
+            "typedef struct _cl_event *cl_event;\n"
+            "int f(const cl_event *wait_list, unsigned int n);"
+        )
+        ctype = info.functions[0].params[0][1]
+        assert ctype.is_const
+        assert ctype.pointer_depth == 1
+        assert ctype.base == "cl_event"
+
+    def test_void_param_list(self):
+        info = parse_header("int f(void);")
+        assert info.functions[0].params == []
+
+    def test_unnamed_params_get_synthetic_names(self):
+        info = parse_header("int f(int, float);")
+        assert [n for n, _ in info.functions[0].params] == ["arg0", "arg1"]
+
+    def test_array_suffix_becomes_pointer(self):
+        info = parse_header("int f(float data[], int n);")
+        assert info.functions[0].params[0][1].pointer_depth == 1
+
+    def test_double_pointer(self):
+        info = parse_header("int f(char **strings, int n);")
+        assert info.functions[0].params[0][1].pointer_depth == 2
+
+    def test_pointer_return_type(self):
+        info = parse_header("void *alloc_thing(size_t size);")
+        decl = info.functions[0]
+        assert decl.return_type.base == "void"
+        assert decl.return_type.pointer_depth == 1
+        assert decl.name == "alloc_thing"
+
+    def test_malformed_decl_raises(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_header("int f(int x;")
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(SpecSyntaxError):
+            parse_header("int f(int x)")
+
+    def test_long_param_not_miparsed_as_long_long(self):
+        info = parse_header("int f(long foo);")
+        name, ctype = info.functions[0].params[0]
+        assert name == "foo"
+        assert ctype.base == "long"

@@ -1,0 +1,126 @@
+"""Unit tests for the shared tokenizer."""
+
+import pytest
+
+from repro.spec.errors import SpecSyntaxError
+from repro.spec.lexer import (
+    DIRECTIVE,
+    EOF,
+    IDENT,
+    NUMBER,
+    PUNCT,
+    STRING,
+    tokenize,
+)
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_eof(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].kind == EOF
+
+    def test_identifiers(self):
+        assert values("foo _bar baz123") == ["foo", "_bar", "baz123"]
+
+    def test_numbers_decimal(self):
+        assert values("0 42 123") == ["0", "42", "123"]
+
+    def test_numbers_hex(self):
+        tokens = tokenize("0xFF 0x10")
+        assert tokens[0].value == "0xFF"
+        assert tokens[1].value == "0x10"
+
+    def test_numbers_with_suffix(self):
+        assert values("10UL 5f") == ["10", "5"]
+
+    def test_float_literal(self):
+        assert values("3.25") == ["3.25"]
+
+    def test_string_literal(self):
+        tokens = tokenize('"hello world"')
+        assert tokens[0].kind == STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_escapes(self):
+        tokens = tokenize(r'"a\nb\"c"')
+        assert tokens[0].value == 'a\nb"c'
+
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize('"abc')
+
+    def test_char_literal_becomes_number(self):
+        tokens = tokenize("'A'")
+        assert tokens[0].kind == NUMBER
+        assert tokens[0].value == str(ord("A"))
+
+    def test_punctuation(self):
+        assert values("( ) { } ; , *") == ["(", ")", "{", "}", ";", ",", "*"]
+
+    def test_two_char_operators(self):
+        assert values("== != <= >= && ||") == ["==", "!=", "<=", ">=", "&&", "||"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("@")
+
+
+class TestCommentsAndDirectives:
+    def test_line_comment_stripped(self):
+        assert values("foo // comment\nbar") == ["foo", "bar"]
+
+    def test_block_comment_stripped(self):
+        assert values("foo /* x\ny */ bar") == ["foo", "bar"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SpecSyntaxError):
+            tokenize("/* never ends")
+
+    def test_include_directive(self):
+        tokens = tokenize("#include <CL/cl.h>\nfoo")
+        assert tokens[0].kind == DIRECTIVE
+        assert tokens[0].value == "#include <CL/cl.h>"
+        assert tokens[1].value == "foo"
+
+    def test_define_directive(self):
+        tokens = tokenize("#define CL_SUCCESS 0")
+        assert tokens[0].kind == DIRECTIVE
+        assert tokens[0].value == "#define CL_SUCCESS 0"
+
+    def test_directive_backslash_continuation(self):
+        tokens = tokenize("#define X \\\n 1\nfoo")
+        assert tokens[0].kind == DIRECTIVE
+        assert "1" in tokens[0].value
+        assert tokens[1].value == "foo"
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert (tokens[0].line, tokens[0].column) == (1, 1)
+        assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("ok\n   @")
+        except SpecSyntaxError as err:
+            assert err.line == 2
+        else:
+            pytest.fail("expected SpecSyntaxError")
+
+    def test_token_helpers(self):
+        tokens = tokenize("foo (")
+        assert tokens[0].is_ident("foo")
+        assert tokens[0].is_ident()
+        assert not tokens[0].is_punct("(")
+        assert tokens[1].is_punct("(")
+        assert not tokens[1].is_ident()

@@ -1,0 +1,143 @@
+"""Unit tests for the pluggable transports."""
+
+import pytest
+
+from repro.remoting.codec import Command, Reply, decode_message, encode_message
+from repro.transport.base import Transport, TransportError
+from repro.transport.inproc import InProcTransport
+from repro.transport.network import NetworkTransport
+from repro.transport.ring import RingTransport
+
+
+class EchoRouter:
+    """Minimal router double: replies success at arrival time."""
+
+    def __init__(self):
+        self.delivered = []
+
+    def deliver(self, wire, arrival):
+        command = decode_message(wire)
+        self.delivered.append((command, arrival))
+        return encode_message(
+            Reply(seq=command.seq, return_value=0, complete_time=arrival)
+        )
+
+
+def make_command(payload=b""):
+    return Command(seq=1, vm_id="vm", api="x", function="f",
+                   in_buffers={"data": payload} if payload else {})
+
+
+class TestDeliveryMechanics:
+    def test_round_trip_through_wire_format(self):
+        router = EchoRouter()
+        transport = InProcTransport(router)
+        result = transport.deliver(make_command(b"abc"), guest_now=1.0)
+        assert isinstance(result.reply, Reply)
+        assert result.reply.return_value == 0
+        command, arrival = router.delivered[0]
+        assert command.function == "f"
+        assert command.in_buffers["data"] == b"abc"
+        assert arrival > 1.0
+
+    def test_sent_at_includes_send_cost(self):
+        router = EchoRouter()
+        transport = InProcTransport(router, latency=10e-6)
+        result = transport.deliver(make_command(), guest_now=0.0)
+        assert result.sent_at >= 10e-6
+
+    def test_async_uses_enqueue_cost(self):
+        router = EchoRouter()
+        transport = InProcTransport(router, latency=10e-6)
+        sync = transport.deliver(make_command(), 0.0, asynchronous=False)
+        async_ = transport.deliver(make_command(), 0.0, asynchronous=True)
+        assert async_.sent_at < sync.sent_at
+
+    def test_metrics_counted(self):
+        router = EchoRouter()
+        transport = InProcTransport(router)
+        transport.deliver(make_command(b"x" * 100), 0.0)
+        assert transport.messages == 1
+        assert transport.tx_bytes > 100
+        assert transport.rx_bytes > 0
+
+
+class TestInProc:
+    def test_cost_linear_in_bytes(self):
+        transport = InProcTransport(EchoRouter())
+        assert transport.send_cost(10_000) > transport.send_cost(0)
+
+    def test_negative_costs_rejected(self):
+        with pytest.raises(ValueError):
+            InProcTransport(EchoRouter(), latency=-1)
+
+
+class TestRing:
+    def test_small_message_single_doorbell(self):
+        ring = RingTransport(EchoRouter(), slot_bytes=4096)
+        cost_small = ring.send_cost(100)
+        cost_one_slot = ring.send_cost(4000)
+        assert cost_small == pytest.approx(
+            cost_one_slot - 3900 * ring.copy_byte_cost
+        )
+
+    def test_large_message_extra_doorbells(self):
+        ring = RingTransport(EchoRouter(), slot_bytes=4096, slots=4096)
+        per_byte = ring.copy_byte_cost
+        small = ring.send_cost(4096) - 4096 * per_byte
+        big = ring.send_cost(4096 * 512) - 4096 * 512 * per_byte
+        assert big > small
+
+    def test_oversized_message_uses_sideband(self):
+        ring = RingTransport(EchoRouter(), slot_bytes=64, slots=4)
+        in_ring = ring.send_cost(64 * 4)
+        sideband = ring.send_cost(64 * 5)
+        # side-band pays extra doorbells and a pinning premium per byte
+        assert sideband > in_ring
+        per_byte_sideband = (ring.send_cost(64 * 50) - sideband) / (64 * 45)
+        assert per_byte_sideband > ring.copy_byte_cost
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            RingTransport(EchoRouter(), slot_bytes=0)
+
+    def test_capacity(self):
+        ring = RingTransport(EchoRouter(), slot_bytes=64, slots=4)
+        assert ring.capacity_bytes == 256
+
+
+class TestNetwork:
+    def test_higher_latency_than_inproc(self):
+        net = NetworkTransport(EchoRouter())
+        local = InProcTransport(EchoRouter())
+        assert net.send_cost(0) > local.send_cost(0)
+
+    def test_packetization(self):
+        net = NetworkTransport(EchoRouter(), mtu=1000)
+        one_packet = net.send_cost(900)
+        many_packets = net.send_cost(9000)
+        extra_packets = 9 - 1
+        assert many_packets - one_packet >= \
+            extra_packets * net.per_packet_cost
+
+    def test_bandwidth_required_positive(self):
+        with pytest.raises(ValueError):
+            NetworkTransport(EchoRouter(), bandwidth=0)
+
+
+class TestAbstractBase:
+    def test_base_costs_not_implemented(self):
+        transport = Transport(EchoRouter())
+        with pytest.raises(NotImplementedError):
+            transport.send_cost(0)
+        with pytest.raises(NotImplementedError):
+            transport.recv_cost(0)
+
+    def test_non_reply_result_rejected(self):
+        class BadRouter:
+            def deliver(self, wire, arrival):
+                return encode_message(make_command())
+
+        transport = InProcTransport(BadRouter())
+        with pytest.raises(TransportError):
+            transport.deliver(make_command(), 0.0)
