@@ -12,7 +12,7 @@ import statistics
 from repro.harness import format_figure5, run_figure5
 
 
-def test_figure5_relative_runtime(once):
+def test_figure5_relative_runtime(once, bench_json):
     rows = once(run_figure5)
     print()
     print(format_figure5(rows))
@@ -21,6 +21,28 @@ def test_figure5_relative_runtime(once):
 
     opencl = {r.name: r.relative_runtime for r in rows if "GTX" in r.device}
     ncs = [r.relative_runtime for r in rows if "Movidius" in r.device][0]
+
+    bench_json("figure5", {
+        "figure": "figure5",
+        "rows": [
+            {
+                "name": r.name,
+                "device": r.device,
+                "native_runtime": r.native.runtime,
+                "virtualized_runtime": r.virtualized.runtime,
+                "relative_runtime": r.relative_runtime,
+                "verified": r.verified,
+                "calls_sync": r.virtualized.calls_sync,
+                "calls_async": r.virtualized.calls_async,
+            }
+            for r in rows
+        ],
+        "summary": {
+            "opencl_mean": statistics.mean(opencl.values()),
+            "opencl_max": max(opencl.values()),
+            "ncs": ncs,
+        },
+    })
 
     # the paper's headline bounds, with modest slack for the simulator
     assert max(opencl.values()) <= 1.25, "max OpenCL overhead out of band"

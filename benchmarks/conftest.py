@@ -7,7 +7,29 @@ results that reproduce the paper's figures, which each bench prints and
 asserts on.
 """
 
+import json
+import os
+
 import pytest
+
+
+@pytest.fixture()
+def bench_json():
+    """Write a benchmark's results as ``BENCH_<name>.json``.
+
+    The file lands next to the benchmarks so dashboards and regression
+    scripts can diff virtual-time results without parsing pytest output.
+    """
+
+    def writer(name, payload):
+        path = os.path.join(os.path.dirname(__file__),
+                            f"BENCH_{name}.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+    return writer
 
 
 @pytest.fixture()

@@ -11,6 +11,10 @@ This walks the paper's Figure 2 workflow end to end, in-process:
 5. the stack runs a guest VM's calls through the hypervisor router.
 
 Run:  python examples/quickstart.py
+
+Set ``CAVA_TRACE=/path/to/trace.json`` to record the run's cross-layer
+spans and write them as Perfetto JSON (open in https://ui.perfetto.dev,
+or replay with ``cava trace`` / ``cava top``).
 """
 
 import os
@@ -135,6 +139,14 @@ def main():
     vm = hv.create_vm("guest-1")
     toy = vm.library("toyfft")
 
+    trace_path = os.environ.get("CAVA_TRACE")
+    tracer = None
+    if trace_path:
+        from repro.telemetry import Tracer, tracer as telemetry
+
+        tracer = Tracer(trace_id="quickstart")
+        telemetry.install(tracer)
+
     n = 256
     signal = np.sin(np.linspace(0, 8 * np.pi, n)).astype(np.float32)
     spectrum = np.zeros(n // 2 + 1, dtype=np.complex64)
@@ -152,6 +164,16 @@ def main():
     print(f"dominant frequency bin: {peak} (signal had 4 cycles)")
     print(f"guest virtual time: {vm.clock.now * 1e6:.1f} us; "
           f"commands routed: {hv.admin_report()['guest-1']['commands']}")
+
+    if tracer is not None:
+        from repro.telemetry import tracer as telemetry, write_perfetto
+
+        telemetry.install(None)
+        spans = tracer.all_spans()
+        write_perfetto(spans, trace_path)
+        layers = sorted({s.layer for s in spans})
+        print(f"wrote {len(spans)} spans across layers {layers} "
+              f"to {trace_path}")
 
 
 if __name__ == "__main__":

@@ -99,6 +99,31 @@ def _cmd_effort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.telemetry.cli import run_trace
+    from repro.telemetry.exporters import TraceFormatError
+
+    try:
+        print(run_trace(args.trace, vm=args.vm, function=args.function,
+                        sort=args.sort))
+    except TraceFormatError as err:
+        print(f"cava: {err}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.telemetry.cli import run_top
+    from repro.telemetry.exporters import TraceFormatError
+
+    try:
+        print(run_top(args.trace))
+    except TraceFormatError as err:
+        print(f"cava: {err}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cava",
@@ -137,6 +162,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     effort.add_argument("api", choices=["opencl", "mvnc", "qat"])
     effort.set_defaults(func=_cmd_effort)
+
+    trace = sub.add_parser(
+        "trace", help="per-function latency breakdown from a trace file"
+    )
+    trace.add_argument("trace", help="Perfetto JSON or JSONL trace file")
+    trace.add_argument("--vm", help="restrict to one VM")
+    trace.add_argument("--function", help="restrict to one API function")
+    trace.add_argument("--sort", choices=["total", "calls", "mean"],
+                       default="total", help="row ordering")
+    trace.set_defaults(func=_cmd_trace)
+
+    top = sub.add_parser(
+        "top", help="per-VM telemetry summary from a trace file"
+    )
+    top.add_argument("trace", help="Perfetto JSON or JSONL trace file")
+    top.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -144,6 +185,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        return 0  # output piped to head/less and closed early
     except (SpecError, OSError) as err:
         print(f"cava: {err}", file=sys.stderr)
         return 2

@@ -20,6 +20,7 @@ from typing import Any, Dict, List, Optional, Tuple
 from repro.guest.driver import GuestDriver
 from repro.remoting.buffers import OutBox, read_bytes, write_back
 from repro.remoting.codec import Command, Reply
+from repro.telemetry import tracer as _tele
 
 
 class RemotingError(Exception):
@@ -58,6 +59,37 @@ class GuestRuntime:
     @property
     def clock(self):
         return self.driver.clock
+
+    # -- tracing hooks generated stubs call ------------------------------------
+
+    def trace_begin(self, function: str):
+        """Open the per-call ``function`` span (no-op when tracing is off).
+
+        Generated guest stubs call this on entry, so *generated code is
+        traced code*: the span tree for every forwarded call is rooted at
+        the guest stub, exactly where a real application enters the API.
+        """
+        tracer = _tele.active()
+        if not tracer.enabled:
+            return None
+        parent = tracer.container(
+            self.driver.vm_id, self.api_name, self.clock.now
+        )
+        return tracer.start_span(
+            function,
+            self.clock.now,
+            layer="guest",
+            kind="function",
+            vm_id=self.driver.vm_id,
+            api=self.api_name,
+            function=function,
+            parent_id=parent.span_id if parent is not None else None,
+        )
+
+    def trace_end(self, span) -> None:
+        """Close a span opened by :meth:`trace_begin` at guest-now."""
+        if span is not None and not span.finished:
+            _tele.active().end_span(span, self.clock.now)
 
     # -- helpers generated stubs call ------------------------------------------
 
@@ -144,8 +176,42 @@ class GuestRuntime:
         """Forward one call.  ``out_targets`` maps parameter names to
         (kind, target) pairs with kind in {"buffer", "scalar_box",
         "handle_box", "handle_array"}."""
+        tracer = _tele.active()
+        span = None
+        owns_span = False
+        if tracer.enabled:
+            span = tracer.current()
+            if span is None or span.kind != "function":
+                # caller bypassed the generated stub (hand-written tests,
+                # exploratory use): open the root span here instead
+                span = self.trace_begin(function)
+                owns_span = True
+        try:
+            return self._submit(
+                function, mode, scalars, handles, in_buffers, out_sizes,
+                out_targets, ret_kind, success, tracer, span,
+            )
+        finally:
+            if owns_span:
+                self.trace_end(span)
+
+    def _submit(
+        self,
+        function: str,
+        mode: str,
+        scalars: Dict[str, Any],
+        handles: Dict[str, Any],
+        in_buffers: Dict[str, bytes],
+        out_sizes: Dict[str, int],
+        out_targets: Dict[str, Tuple[str, Any]],
+        ret_kind: str,
+        success: Any,
+        tracer: Any,
+        span: Any,
+    ) -> Any:
         clock = self.driver.clock
         payload = sum(len(chunk) for chunk in in_buffers.values())
+        marshal_start = clock.now
         clock.advance(
             self.marshal_call_cost + payload * self.marshal_byte_cost,
             "marshal",
@@ -162,6 +228,18 @@ class GuestRuntime:
             out_sizes=out_sizes,
             issue_time=clock.now,
         )
+        if span is not None:
+            span.attrs.update(
+                seq=command.seq, mode=mode, payload_bytes=payload,
+            )
+            # propagate the trace context on the wire: host-side layers
+            # parent their spans on these ids, not on shared state
+            command.trace_id = tracer.trace_id
+            command.span_id = span.span_id
+            tracer.record_span(
+                "marshal", marshal_start, clock.now,
+                layer="guest", bytes=payload,
+            )
         result = self.driver.transport.deliver(
             command, clock.now, asynchronous=(mode == "async")
         )
@@ -182,15 +260,35 @@ class GuestRuntime:
         self.calls_sync += 1
         reply = result.reply
         if reply.error is not None:
+            if span is not None:
+                span.attrs["error"] = reply.error
             raise RemotingError(f"{function}: {reply.error}")
         # wait for host completion, then pay the reply leg and unmarshal
+        wait_start = clock.now
         clock.advance_to(result.completed_at, "host_wait")
+        recv_start = clock.now
         clock.advance(result.reply_cost, "transport")
         reply_bytes = reply.payload_bytes()
+        unmarshal_start = clock.now
         clock.advance(
             self.marshal_call_cost + reply_bytes * self.marshal_byte_cost,
             "marshal",
         )
+        if span is not None:
+            if recv_start > wait_start:
+                tracer.record_span(
+                    "wait.reply", wait_start, recv_start, layer="guest",
+                    server_span=reply.span_id,
+                )
+            tracer.record_span(
+                "transport.recv", recv_start, unmarshal_start,
+                layer="transport", bytes=reply_bytes,
+            )
+            tracer.record_span(
+                "unmarshal", unmarshal_start, clock.now,
+                layer="guest", bytes=reply_bytes,
+            )
+            span.attrs["reply_bytes"] = reply_bytes
         self._apply_outputs(reply, out_targets, function)
         self._deliver_callbacks(reply, function)
         value = self._map_return(reply, ret_kind)

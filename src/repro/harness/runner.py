@@ -20,6 +20,7 @@ from repro.opencl import api as cl_api
 from repro.opencl.device import SimulatedGPU
 from repro.opencl.runtime import session
 from repro.stack import make_hypervisor
+from repro.telemetry import tracer as _tele
 from repro.vclock import VirtualClock
 from repro.workloads import OPENCL_WORKLOADS, InceptionWorkload
 from repro.workloads.base import WorkloadResult
@@ -71,12 +72,21 @@ def run_virtualized(
     hypervisor: Optional[Hypervisor] = None,
     vm_id: str = "vm-bench",
     transport: str = "inproc",
+    tracer: Optional[Any] = None,
 ) -> Measurement:
-    """Run a workload inside a guest VM through the full AvA stack."""
+    """Run a workload inside a guest VM through the full AvA stack.
+
+    Pass a :class:`repro.telemetry.Tracer` to record the run's spans;
+    the default keeps the zero-cost no-op tracer installed.
+    """
     hv = hypervisor or make_hypervisor(apis=(api_name,))
     vm = hv.create_vm(vm_id, transport=transport)
     library = vm.library(api_name)
-    result = workload.run(library)
+    if tracer is not None:
+        with _tele.use(tracer):
+            result = workload.run(library)
+    else:
+        result = workload.run(library)
     runtime = vm.runtimes[api_name]
     return Measurement(
         name=workload.name, mode="ava", runtime=vm.clock.now,

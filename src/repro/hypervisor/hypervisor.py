@@ -159,5 +159,6 @@ class Hypervisor:
                 "payload_bytes": metrics.payload_bytes,
                 "rate_delay": metrics.rate_delay,
                 "resources": dict(metrics.resources),
+                "per_function": dict(metrics.per_function),
             }
         return report

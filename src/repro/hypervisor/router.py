@@ -26,6 +26,7 @@ from repro.remoting.codec import (
 )
 from repro.spec.expr import Evaluator, Expr
 from repro.spec.model import ApiSpec, RecordKind
+from repro.telemetry import tracer as _tele
 
 
 @dataclass
@@ -218,11 +219,19 @@ class Router:
                 Reply(seq=-1, error="router: expected a command",
                       complete_time=arrival)
             )
+        tracer = _tele.active()
         try:
             info = self._verify(command)
         except RouterError as err:
             entry = self.metrics_for(command.vm_id)
             entry.rejected += 1
+            if tracer.enabled:
+                tracer.record_span(
+                    "router.policy", arrival, arrival, layer="router",
+                    parent_id=command.span_id, vm_id=command.vm_id,
+                    api=command.api, function=command.function,
+                    rejected=str(err),
+                )
             return encode_message(
                 Reply(seq=command.seq, error=f"router: {err}",
                       complete_time=arrival)
@@ -233,6 +242,13 @@ class Router:
         if exhausted is not None:
             entry = self.metrics_for(command.vm_id)
             entry.rejected += 1
+            if tracer.enabled:
+                tracer.record_span(
+                    "router.policy", arrival, arrival, layer="router",
+                    parent_id=command.span_id, vm_id=command.vm_id,
+                    api=command.api, function=command.function,
+                    rejected=f"quota exhausted: {exhausted}",
+                )
             return encode_message(
                 Reply(seq=command.seq,
                       error=f"router: resource quota exhausted for "
@@ -240,13 +256,35 @@ class Router:
                       complete_time=arrival)
             )
 
-        release = arrival + self.interposition_cost
+        verified_at = arrival + self.interposition_cost
+        release = verified_at
         if self.rate_limiter is not None:
             allowed = self.rate_limiter.next_allowed(command.vm_id, release)
             self.metrics_for(command.vm_id).rate_delay += allowed - release
             release = allowed
 
         self._account(command, estimates)
+
+        if tracer.enabled:
+            # the interposition window: verification + resource accounting
+            policy_attrs = {
+                f"est.{name}": value for name, value in estimates.items()
+            }
+            tracer.record_span(
+                "router.policy", arrival, verified_at, layer="router",
+                parent_id=command.span_id, vm_id=command.vm_id,
+                api=command.api, function=command.function,
+                payload_bytes=command.payload_bytes(), **policy_attrs,
+            )
+            # the scheduling decision: token-bucket release of the command
+            tracer.record_span(
+                "router.queue", verified_at, release, layer="router",
+                parent_id=command.span_id, vm_id=command.vm_id,
+                api=command.api, function=command.function,
+                rate_delay=release - verified_at,
+                scheduler=("token-bucket" if self.rate_limiter is not None
+                           else "pass-through"),
+            )
 
         worker = self.worker_resolver(command.vm_id, command.api)
         if worker is None:

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.hypervisor.policy import RateLimiter, ResourcePolicy
+from repro.telemetry import tracer as _tele
 
 
 @dataclass
@@ -174,6 +175,19 @@ class ContendedDevice:
             end = start + item.duration
             device_free = end
             usage[chosen] += item.duration
+
+            tracer = _tele.active()
+            if tracer.enabled:
+                policy = type(self.scheduler).__name__
+                if start > release[chosen]:
+                    tracer.record_span(
+                        "router.queue", release[chosen], start,
+                        layer="router", vm_id=chosen, policy=policy,
+                    )
+                tracer.record_span(
+                    "device.compute", start, end, layer="device",
+                    vm_id=chosen, policy=policy, op="contended",
+                )
 
             entry = stats[chosen]
             entry.completed += 1

@@ -16,6 +16,7 @@ from typing import Any, Deque, Dict, Optional, Tuple
 import numpy as np
 
 from repro.mvnc.graph import GraphDefinition, GraphExecutor, estimate_flops
+from repro.telemetry import tracer as _tele
 
 
 @dataclass(frozen=True)
@@ -121,6 +122,14 @@ class SimulatedNCS:
         self.timeline = end
         self.busy_time += cost
         graph.inference_time_total += cost
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "device.compute", start, end, layer="device",
+                op="inference", device=self.name,
+                input_bytes=input_tensor.nbytes,
+                output_bytes=report.output.nbytes,
+            )
         pending = PendingInference(
             output=report.output, complete_at=end, user_param=user_param
         )

@@ -19,6 +19,7 @@ from typing import Dict, Optional, Tuple
 
 from repro.opencl.errors import CLError, check
 from repro.opencl import types
+from repro.telemetry import tracer as _tele
 
 
 @dataclass(frozen=True)
@@ -169,6 +170,13 @@ class SimulatedGPU:
         self.op_counts[category] = self.op_counts.get(category, 0) + 1
         if self.trace is not None:
             self.trace.append((start, end, category))
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "device.compute" if category == "kernel" else "device.copy",
+                start, end, layer="device", op=category,
+                device=self.spec.name,
+            )
         return DeviceTimer(start=start, end=end)
 
     def utilization(self, horizon: Optional[float] = None) -> float:

@@ -179,13 +179,17 @@ class Command:
     out_sizes: Dict[str, int] = field(default_factory=dict)
     #: guest virtual time at which the command was issued
     issue_time: float = 0.0
+    #: propagated trace context (set only while tracing is enabled, so
+    #: the untraced wire encoding — and thus its costs — is unchanged)
+    trace_id: Optional[str] = None
+    span_id: Optional[int] = None
 
     def payload_bytes(self) -> int:
         """Bytes of bulk payload carried guest → host."""
         return sum(len(chunk) for chunk in self.in_buffers.values())
 
     def to_wire_dict(self) -> Dict[str, Any]:
-        return {
+        wire: Dict[str, Any] = {
             "seq": self.seq,
             "vm": self.vm_id,
             "api": self.api,
@@ -197,9 +201,13 @@ class Command:
             "outsz": self.out_sizes,
             "t": self.issue_time,
         }
+        if self.trace_id is not None or self.span_id is not None:
+            wire["tr"] = [self.trace_id, self.span_id]
+        return wire
 
     @classmethod
     def from_wire_dict(cls, data: Dict[str, Any]) -> "Command":
+        trace = data.get("tr") or (None, None)
         try:
             return cls(
                 seq=data["seq"],
@@ -212,6 +220,8 @@ class Command:
                 in_buffers={k: bytes(v) for k, v in data["inbufs"].items()},
                 out_sizes=data["outsz"],
                 issue_time=data["t"],
+                trace_id=trace[0],
+                span_id=trace[1],
             )
         except KeyError as missing:
             raise CodecError(f"command missing field {missing}") from None
@@ -235,13 +245,15 @@ class Reply:
     error: Optional[str] = None
     #: host virtual time at which execution completed
     complete_time: float = 0.0
+    #: server-side dispatch span id (set only while tracing is enabled)
+    span_id: Optional[int] = None
 
     def payload_bytes(self) -> int:
         """Bytes of bulk payload carried host → guest."""
         return sum(len(chunk) for chunk in self.out_payloads.values())
 
     def to_wire_dict(self) -> Dict[str, Any]:
-        return {
+        wire: Dict[str, Any] = {
             "seq": self.seq,
             "ret": self.return_value,
             "outs": self.out_payloads,
@@ -251,6 +263,9 @@ class Reply:
             "err": self.error,
             "t": self.complete_time,
         }
+        if self.span_id is not None:
+            wire["tr"] = self.span_id
+        return wire
 
     @classmethod
     def from_wire_dict(cls, data: Dict[str, Any]) -> "Reply":
@@ -264,6 +279,7 @@ class Reply:
                 callbacks=data.get("cbs", []),
                 error=data["err"],
                 complete_time=data["t"],
+                span_id=data.get("tr"),
             )
         except KeyError as missing:
             raise CodecError(f"reply missing field {missing}") from None

@@ -17,6 +17,7 @@ from repro.migration.recorder import CallRecorder
 from repro.remoting.codec import Command, Reply
 from repro.remoting.handles import HandleError, HandleTable
 from repro.spec.model import RecordKind
+from repro.telemetry import tracer as _tele
 from repro.vclock import VirtualClock
 
 
@@ -134,6 +135,31 @@ class ApiServerWorker:
                 or getattr(obj, "removed", False)):
             self.handles.free(guest_id)
 
+    # -- tracing hooks the generated server stubs call -------------------------
+
+    def trace_begin(self, command: Command):
+        """Open the server-stub span (named after the API function).
+
+        Generated dispatch stubs call this before unmarshaling, so the
+        host side of every call is traced generated code too; device
+        spans recorded while the native call runs nest underneath.
+        """
+        tracer = _tele.active()
+        if not tracer.enabled:
+            return None
+        return tracer.start_span(
+            command.function, self.clock.now, layer="server", kind="op",
+            vm_id=self.vm_id, api=self.api_name, function=command.function,
+        )
+
+    def trace_end(self, span, reply: Optional[Reply] = None) -> None:
+        if span is None or span.finished:
+            return
+        attrs = {}
+        if reply is not None and reply.error is not None:
+            attrs["error"] = reply.error
+        _tele.active().end_span(span, self.clock.now, **attrs)
+
     # -- execution ---------------------------------------------------------------
 
     def execute(self, command: Command, release_time: float) -> Reply:
@@ -153,6 +179,15 @@ class ApiServerWorker:
             )
         self.clock.advance_to(release_time, "idle")
         started = self.clock.now
+        tracer = _tele.active()
+        tspan = None
+        if tracer.enabled:
+            tspan = tracer.start_span(
+                "dispatch", started, layer="server", kind="op",
+                parent_id=command.span_id, vm_id=self.vm_id,
+                api=self.api_name, function=command.function,
+                seq=command.seq,
+            )
         self.clock.advance(self.dispatch_cost, "dispatch")
         try:
             with self.session_factory(self):
@@ -168,6 +203,10 @@ class ApiServerWorker:
             )
         reply.seq = command.seq
         reply.complete_time = self.clock.now
+        if tspan is not None:
+            attrs = {"error": reply.error} if reply.error else {}
+            tracer.end_span(tspan, self.clock.now, **attrs)
+            reply.span_id = tspan.span_id
         self.stats.executed += 1
         self.stats.busy_time += self.clock.now - started
         if reply.error is None:

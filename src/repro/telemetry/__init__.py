@@ -1,0 +1,71 @@
+"""Stack-wide tracing and metrics keyed to the virtual clock.
+
+See :mod:`repro.telemetry.tracer` for the span model and taxonomy,
+:mod:`repro.telemetry.metrics` for derived counters/histograms, and
+:mod:`repro.telemetry.exporters` for the Perfetto/JSONL formats the
+``cava trace`` and ``cava top`` subcommands replay.
+
+Quick use::
+
+    from repro.telemetry import Tracer, use
+    from repro.telemetry.exporters import write_perfetto
+
+    tracer = Tracer()
+    with use(tracer):
+        ...  # run any workload through the stack
+    write_perfetto(tracer.all_spans(), "trace.json")
+"""
+
+from repro.telemetry.tracer import (
+    LAYERS,
+    NOOP,
+    NoopTracer,
+    Span,
+    Tracer,
+    TracerError,
+    active,
+    install,
+    use,
+)
+from repro.telemetry.metrics import (
+    FunctionMetrics,
+    LatencyHistogram,
+    MetricsRegistry,
+    VMTelemetry,
+    breakdown,
+    self_times,
+)
+from repro.telemetry.exporters import (
+    TraceFormatError,
+    load_trace,
+    perfetto_trace,
+    read_jsonl,
+    spans_from_perfetto,
+    write_jsonl,
+    write_perfetto,
+)
+
+__all__ = [
+    "LAYERS",
+    "NOOP",
+    "NoopTracer",
+    "Span",
+    "Tracer",
+    "TracerError",
+    "active",
+    "install",
+    "use",
+    "FunctionMetrics",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "VMTelemetry",
+    "breakdown",
+    "self_times",
+    "TraceFormatError",
+    "load_trace",
+    "perfetto_trace",
+    "read_jsonl",
+    "spans_from_perfetto",
+    "write_jsonl",
+    "write_perfetto",
+]

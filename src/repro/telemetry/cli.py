@@ -1,0 +1,122 @@
+"""``cava trace`` / ``cava top`` — replay a trace file into tables.
+
+Both subcommands consume a trace written by the exporters (Perfetto
+JSON or JSONL, auto-detected) and render aligned text tables through
+the same formatter the benchmark harness uses:
+
+* ``cava trace``  — per-VM, per-function breakdown: call counts, total
+  and mean/p95 latency, and where the time went by layer (guest /
+  transport / router / server / device self-time percentages).
+* ``cava top``    — one row per VM: commands, errors, total virtual
+  time and the per-layer split, plus the busiest function.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.harness.report import format_table
+from repro.telemetry.exporters import load_trace
+from repro.telemetry.metrics import MetricsRegistry, breakdown
+from repro.telemetry.tracer import LAYERS, Span
+
+
+def _us(seconds: float) -> str:
+    return f"{seconds * 1e6:.1f}"
+
+
+def _layer_columns(total: float, layer_time: Dict[str, float]) -> List[str]:
+    cells = []
+    for layer in LAYERS:
+        share = layer_time.get(layer, 0.0)
+        cells.append(f"{share / total * 100:.0f}%" if total > 0 else "-")
+    return cells
+
+
+def run_trace(
+    path: str,
+    vm: Optional[str] = None,
+    function: Optional[str] = None,
+    sort: str = "total",
+) -> str:
+    """The per-function breakdown table for one trace file."""
+    spans = load_trace(path)
+    if not spans:
+        return f"(no spans in {path})"
+    registry = MetricsRegistry.from_spans(spans)
+    per_layer = breakdown(
+        spans, lambda s: (s.vm_id, s.function, s.layer)
+    )
+
+    rows: List[Tuple[float, int, float, List[str]]] = []
+    for vm_id in sorted(registry.vms):
+        if vm is not None and vm_id != vm:
+            continue
+        telemetry = registry.vms[vm_id]
+        for name in sorted(telemetry.functions):
+            if function is not None and name != function:
+                continue
+            stats = telemetry.functions[name]
+            layer_time = {
+                layer: per_layer.get((vm_id, name, layer), 0.0)
+                for layer in LAYERS
+            }
+            total = stats.total_time
+            rows.append((total, stats.calls, stats.latency.mean, [
+                vm_id,
+                name,
+                str(stats.calls),
+                str(stats.errors),
+                f"{stats.sync_calls}/{stats.async_calls}",
+                _us(total),
+                _us(stats.latency.mean),
+                _us(stats.latency.quantile(0.95)),
+                str(stats.payload_bytes),
+            ] + _layer_columns(total, layer_time)))
+
+    keys = {"total": 0, "calls": 1, "mean": 2}
+    rows.sort(key=lambda row: row[keys.get(sort, 0)], reverse=True)
+    table = format_table(
+        ["vm", "function", "calls", "errs", "sync/async", "total us",
+         "mean us", "p95 us", "payload B"] + list(LAYERS),
+        [row[-1] for row in rows],
+    )
+    lines = [f"trace: {path} — {len(spans)} spans", "", table]
+    return "\n".join(lines)
+
+
+def run_top(path: str) -> str:
+    """The per-VM telemetry summary table for one trace file."""
+    spans = load_trace(path)
+    if not spans:
+        return f"(no spans in {path})"
+    registry = MetricsRegistry.from_spans(spans)
+    per_layer = breakdown(spans, lambda s: (s.vm_id, s.layer))
+
+    rows = []
+    for vm_id in sorted(registry.vms, key=lambda v: -registry.vms[v].total_time):
+        telemetry = registry.vms[vm_id]
+        total = telemetry.total_time
+        busiest = max(
+            telemetry.functions.values(),
+            key=lambda f: f.total_time,
+            default=None,
+        )
+        layer_time = {
+            layer: per_layer.get((vm_id, layer), 0.0) for layer in LAYERS
+        }
+        rows.append([
+            vm_id,
+            str(telemetry.calls),
+            str(telemetry.errors),
+            _us(total),
+        ] + _layer_columns(total, layer_time) + [
+            busiest.function if busiest is not None else "-",
+        ])
+    table = format_table(
+        ["vm", "calls", "errs", "total us"] + list(LAYERS) + ["top function"],
+        rows,
+    )
+    vms = len(registry.vms)
+    lines = [f"trace: {path} — {len(spans)} spans, {vms} VM(s)", "", table]
+    return "\n".join(lines)

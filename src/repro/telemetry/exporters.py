@@ -1,0 +1,223 @@
+"""Trace exporters: Chrome/Perfetto ``trace_event`` JSON and flat JSONL.
+
+Perfetto layout: one *pid* per VM (plus ``host`` for spans recorded
+outside any VM, e.g. native-path device ops), one *tid* per layer, so
+the UI renders the classic per-VM swimlanes with guest → transport →
+router → server → device stacked underneath.  Timestamps are virtual
+microseconds.  Span identity (trace/span/parent ids) rides in ``args``
+so a Perfetto file round-trips losslessly through :func:`load_trace`.
+
+The JSONL log is one span per line — the lossless machine format the
+``cava trace`` / ``cava top`` subcommands replay.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.telemetry.tracer import LAYERS, Span
+
+#: layer → Perfetto tid (stable ordering in the UI)
+_LAYER_TIDS = {layer: index + 1 for index, layer in enumerate(LAYERS)}
+_OTHER_TID = len(LAYERS) + 1
+
+#: pid for spans not attributed to any VM (native runs, host bookkeeping)
+_HOST_PID = 1
+
+
+class TraceFormatError(Exception):
+    """Unrecognized or malformed trace file."""
+
+
+# ---------------------------------------------------------------------------
+# span <-> plain dict
+# ---------------------------------------------------------------------------
+
+
+def span_to_dict(span: Span) -> Dict[str, Any]:
+    return {
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "name": span.name,
+        "layer": span.layer,
+        "kind": span.kind,
+        "vm": span.vm_id,
+        "api": span.api,
+        "function": span.function,
+        "start": span.start,
+        "end": span.end if span.end is not None else span.start,
+        "attrs": dict(span.attrs),
+    }
+
+
+def span_from_dict(data: Dict[str, Any]) -> Span:
+    try:
+        return Span(
+            trace_id=data["trace_id"],
+            span_id=int(data["span_id"]),
+            parent_id=(int(data["parent_id"])
+                       if data.get("parent_id") is not None else None),
+            name=data["name"],
+            layer=data["layer"],
+            kind=data.get("kind", "op"),
+            vm_id=data.get("vm"),
+            api=data.get("api"),
+            function=data.get("function"),
+            start=float(data["start"]),
+            end=float(data["end"]),
+            attrs=dict(data.get("attrs") or {}),
+        )
+    except (KeyError, TypeError, ValueError) as err:
+        raise TraceFormatError(f"malformed span record: {err}") from err
+
+
+# ---------------------------------------------------------------------------
+# Perfetto / Chrome trace_event JSON
+# ---------------------------------------------------------------------------
+
+
+def _pid_map(spans: Iterable[Span]) -> Dict[Optional[str], int]:
+    vms = sorted({s.vm_id for s in spans if s.vm_id is not None})
+    pids: Dict[Optional[str], int] = {None: _HOST_PID}
+    for index, vm_id in enumerate(vms):
+        pids[vm_id] = _HOST_PID + 1 + index
+    return pids
+
+
+def perfetto_trace(spans: Iterable[Span]) -> Dict[str, Any]:
+    """The Chrome/Perfetto ``trace_event`` document for ``spans``."""
+    materialized = [s for s in spans if s.finished or s.end is not None]
+    pids = _pid_map(materialized)
+    events: List[Dict[str, Any]] = []
+    for vm_id, pid in sorted(pids.items(), key=lambda item: item[1]):
+        events.append({
+            "ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+            "args": {"name": vm_id if vm_id is not None else "host"},
+        })
+    named_tids = set()
+    for span in materialized:
+        pid = pids[span.vm_id]
+        tid = _LAYER_TIDS.get(span.layer, _OTHER_TID)
+        if (pid, tid) not in named_tids:
+            named_tids.add((pid, tid))
+            events.append({
+                "ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+                "args": {"name": span.layer},
+            })
+        events.append({
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": pid,
+            "tid": tid,
+            "args": {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+                "parent_id": span.parent_id,
+                "kind": span.kind,
+                "vm": span.vm_id,
+                "api": span.api,
+                "function": span.function,
+                **span.attrs,
+            },
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(spans: Iterable[Span], path: str) -> str:
+    """Write the Perfetto JSON for ``spans``; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(perfetto_trace(spans), handle)
+    return path
+
+
+def spans_from_perfetto(document: Dict[str, Any]) -> List[Span]:
+    """Reconstruct spans from a Perfetto document written by us."""
+    events = document.get("traceEvents")
+    if events is None:
+        raise TraceFormatError("not a trace_event document")
+    spans = []
+    for event in events:
+        if event.get("ph") != "X":
+            continue
+        args = event.get("args") or {}
+        attrs = {
+            key: value for key, value in args.items()
+            if key not in ("trace_id", "span_id", "parent_id", "kind",
+                           "vm", "api", "function")
+        }
+        spans.append(span_from_dict({
+            "trace_id": args.get("trace_id", "?"),
+            "span_id": args.get("span_id", 0),
+            "parent_id": args.get("parent_id"),
+            "name": event.get("name", "?"),
+            "layer": event.get("cat", "other"),
+            "kind": args.get("kind", "op"),
+            "vm": args.get("vm"),
+            "api": args.get("api"),
+            "function": args.get("function"),
+            "start": event.get("ts", 0.0) / 1e6,
+            "end": (event.get("ts", 0.0) + event.get("dur", 0.0)) / 1e6,
+            "attrs": attrs,
+        }))
+    return spans
+
+
+# ---------------------------------------------------------------------------
+# JSONL event log
+# ---------------------------------------------------------------------------
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> str:
+    """Write one span per line; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span), sort_keys=True))
+            handle.write("\n")
+    return path
+
+
+def read_jsonl(path: str) -> List[Span]:
+    spans = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                spans.append(span_from_dict(json.loads(line)))
+            except json.JSONDecodeError as err:
+                raise TraceFormatError(f"bad JSONL line: {err}") from err
+    return spans
+
+
+def load_trace(source: Union[str, Dict[str, Any]]) -> List[Span]:
+    """Load spans from a Perfetto JSON or JSONL file (auto-detected)."""
+    if isinstance(source, dict):
+        return spans_from_perfetto(source)
+    with open(source, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    if not text.strip():
+        return []
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError:
+        document = None
+    if isinstance(document, dict):
+        return spans_from_perfetto(document)
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            spans.append(span_from_dict(json.loads(line)))
+        except json.JSONDecodeError as err:
+            raise TraceFormatError(
+                f"{source}: neither Perfetto JSON nor JSONL ({err})"
+            ) from err
+    return spans

@@ -1,0 +1,235 @@
+"""Counters and latency histograms derived from completed spans.
+
+The :class:`MetricsRegistry` is the aggregate view over the tracer's
+span stream: per-VM / per-function call counts, error counts, sync/async
+split, payload bytes and latency distributions, plus per-layer time.
+It subsumes the router's ad-hoc ``VMMetrics`` — feed a router's metrics
+dict through :meth:`MetricsRegistry.absorb_router` to fold its
+verification-level counters (rejections, rate delay, resource
+estimates) into the same per-VM view.
+
+Layer attribution uses *self time* (a span's duration minus its direct
+children's), so nested spans of the same layer — the ``dispatch`` span
+around a server stub span — are not double counted.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional
+
+from repro.telemetry.tracer import Span
+
+
+def percentile(samples: List[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of ``samples`` by linear interpolation."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = q * (len(ordered) - 1)
+    low = int(math.floor(position))
+    high = min(low + 1, len(ordered) - 1)
+    fraction = position - low
+    return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+
+@dataclass
+class LatencyHistogram:
+    """Latency samples with power-of-two microsecond bucketing."""
+
+    samples: List[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        self.samples.append(seconds)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.samples else 0.0
+
+    @property
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    def buckets(self) -> Dict[str, int]:
+        """Counts per power-of-two microsecond bucket (``<=1us`` ...)."""
+        counts: Dict[str, int] = {}
+        for seconds in self.samples:
+            micros = seconds * 1e6
+            if micros <= 1.0:
+                label = "<=1us"
+            else:
+                exponent = math.ceil(math.log2(micros))
+                label = f"<={2 ** exponent}us"
+            counts[label] = counts.get(label, 0) + 1
+        return counts
+
+
+@dataclass
+class FunctionMetrics:
+    """Per-(VM, function) aggregate derived from ``function`` spans."""
+
+    function: str
+    calls: int = 0
+    errors: int = 0
+    sync_calls: int = 0
+    async_calls: int = 0
+    payload_bytes: int = 0
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+
+    @property
+    def total_time(self) -> float:
+        return self.latency.total
+
+
+@dataclass
+class VMTelemetry:
+    """Per-VM aggregate across all of that VM's functions and layers."""
+
+    vm_id: str
+    functions: Dict[str, FunctionMetrics] = field(default_factory=dict)
+    #: layer → span count (completed op spans attributed to this VM)
+    layer_spans: Dict[str, int] = field(default_factory=dict)
+    #: router-level counters absorbed from the router's VMMetrics
+    rejected: int = 0
+    rate_delay: float = 0.0
+    resources: Dict[str, float] = field(default_factory=dict)
+
+    def function_metrics(self, function: str) -> FunctionMetrics:
+        entry = self.functions.get(function)
+        if entry is None:
+            entry = self.functions[function] = FunctionMetrics(function)
+        return entry
+
+    @property
+    def calls(self) -> int:
+        return sum(f.calls for f in self.functions.values())
+
+    @property
+    def errors(self) -> int:
+        return sum(f.errors for f in self.functions.values())
+
+    @property
+    def total_time(self) -> float:
+        return sum(f.total_time for f in self.functions.values())
+
+
+class MetricsRegistry:
+    """Aggregates completed spans into per-VM / per-function metrics.
+
+    Attach to a tracer (``Tracer(metrics=registry)``) for streaming
+    ingestion, or build one after the fact with :meth:`from_spans`.
+    """
+
+    def __init__(self) -> None:
+        self.vms: Dict[str, VMTelemetry] = {}
+
+    def vm(self, vm_id: str) -> VMTelemetry:
+        entry = self.vms.get(vm_id)
+        if entry is None:
+            entry = self.vms[vm_id] = VMTelemetry(vm_id)
+        return entry
+
+    def ingest(self, span: Span) -> None:
+        """Fold one completed span into the aggregates."""
+        if span.vm_id is None or not span.finished:
+            return
+        entry = self.vm(span.vm_id)
+        if span.kind == "function":
+            stats = entry.function_metrics(span.name)
+            stats.calls += 1
+            stats.latency.record(span.duration)
+            if span.attrs.get("error"):
+                stats.errors += 1
+            mode = span.attrs.get("mode")
+            if mode == "async":
+                stats.async_calls += 1
+            elif mode == "sync":
+                stats.sync_calls += 1
+            stats.payload_bytes += int(span.attrs.get("payload_bytes", 0))
+        elif span.kind == "op":
+            entry.layer_spans[span.layer] = (
+                entry.layer_spans.get(span.layer, 0) + 1
+            )
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Span]) -> "MetricsRegistry":
+        registry = cls()
+        for span in spans:
+            registry.ingest(span)
+        return registry
+
+    def absorb_router(self, router_metrics: Dict[str, Any]) -> None:
+        """Fold the router's per-VM ``VMMetrics`` into this registry.
+
+        This is what makes the registry a superset of the router's
+        ad-hoc accounting: rejections, rate-limit delay, and resource
+        estimates land next to the span-derived counters.
+        """
+        for vm_id, metrics in router_metrics.items():
+            entry = self.vm(vm_id)
+            entry.rejected += metrics.rejected
+            entry.rate_delay += metrics.rate_delay
+            for resource, amount in metrics.resources.items():
+                entry.resources[resource] = (
+                    entry.resources.get(resource, 0.0) + amount
+                )
+
+
+# ---------------------------------------------------------------------------
+# span-tree time attribution
+# ---------------------------------------------------------------------------
+
+
+def self_times(spans: Iterable[Span]) -> Dict[int, float]:
+    """Each span's *self* time: duration minus direct children's.
+
+    Clipped at zero — overlapping children (an in-order device absorbing
+    a queued op early) cannot make a parent's own time negative.
+    """
+    materialized = [s for s in spans if s.finished]
+    child_total: Dict[Optional[int], float] = {}
+    for span in materialized:
+        child_total[span.parent_id] = (
+            child_total.get(span.parent_id, 0.0) + span.duration
+        )
+    return {
+        span.span_id: max(0.0, span.duration
+                          - child_total.get(span.span_id, 0.0))
+        for span in materialized
+    }
+
+
+def breakdown(
+    spans: Iterable[Span],
+    key: Callable[[Span], Hashable],
+) -> Dict[Hashable, float]:
+    """Self time summed by an arbitrary span key.
+
+    ``breakdown(spans, lambda s: (s.vm_id, s.layer))`` answers "where
+    did each VM's virtual time go, per layer" without double counting
+    nested spans.  Container spans (``vm``/``api``) are excluded — they
+    overlap everything.
+    """
+    materialized = [
+        s for s in spans if s.finished and s.kind not in ("vm", "api")
+    ]
+    own = self_times(materialized)
+    result: Dict[Hashable, float] = {}
+    for span in materialized:
+        bucket = key(span)
+        result[bucket] = result.get(bucket, 0.0) + own[span.span_id]
+    return result

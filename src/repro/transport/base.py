@@ -10,9 +10,10 @@ shortcut.  Timing comes from each transport's cost parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Any, Dict, Optional
 
 from repro.remoting.codec import Command, Reply, decode_message, encode_message
+from repro.telemetry import tracer as _tele
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.hypervisor.router import Router
@@ -69,6 +70,14 @@ class Transport:
         """
         return 0.15e-6
 
+    def span_attrs(self, nbytes: int) -> Dict[str, Any]:
+        """Transport-specific attributes for the ``transport.send`` span.
+
+        Subclasses add what explains their cost shape (doorbells, ring
+        slots, packets).
+        """
+        return {}
+
     # -- delivery ------------------------------------------------------------
 
     def deliver(self, command: Command, guest_now: float,
@@ -85,6 +94,18 @@ class Transport:
         cost = (self.enqueue_cost(len(wire)) if asynchronous
                 else self.send_cost(len(wire)))
         sent_at = guest_now + cost
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "transport.send", guest_now, sent_at,
+                layer="transport",
+                parent_id=command.span_id,
+                vm_id=command.vm_id, api=command.api,
+                function=command.function,
+                transport=self.name, wire_bytes=len(wire),
+                submit="async" if asynchronous else "sync",
+                **self.span_attrs(len(wire)),
+            )
         reply_wire = self.router.deliver(bytes(wire), arrival=sent_at)
         reply = decode_message(reply_wire)
         if not isinstance(reply, Reply):

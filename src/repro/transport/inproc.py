@@ -44,3 +44,6 @@ class InProcTransport(Transport):
 
     def enqueue_cost(self, nbytes: int) -> float:
         return self.enqueue_overhead + nbytes * self.byte_cost
+
+    def span_attrs(self, nbytes: int):
+        return {"doorbell_us": self.latency * 1e6}

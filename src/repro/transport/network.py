@@ -51,3 +51,9 @@ class NetworkTransport(Transport):
 
     def recv_cost(self, nbytes: int) -> float:
         return self._cost(nbytes)
+
+    def span_attrs(self, nbytes: int):
+        return {
+            "packets": max(1, -(-nbytes // self.mtu)),
+            "latency_us": self.latency * 1e6,
+        }

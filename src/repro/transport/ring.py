@@ -71,3 +71,10 @@ class RingTransport(Transport):
     def enqueue_cost(self, nbytes: int) -> float:
         # async producers write slots without ringing the doorbell
         return 0.2e-6 + nbytes * self.copy_byte_cost
+
+    def span_attrs(self, nbytes: int):
+        needed = self._slot_count(nbytes)
+        return {
+            "slots": needed,
+            "sideband": needed > self.slots,
+        }

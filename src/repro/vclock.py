@@ -31,14 +31,19 @@ class VirtualClock:
     run can later be decomposed (compute vs. transport vs. marshaling).
     """
 
-    def __init__(self, name: str = "clock", start: float = 0.0) -> None:
+    def __init__(self, name: str = "clock", start: float = 0.0,
+                 record_events: bool = False) -> None:
         if start < 0:
             raise ClockError("clock cannot start before t=0")
         self.name = name
         self._now = float(start)
         self._accounts: Dict[str, float] = {}
+        # the per-advance event log is opt-in (record_events=True or the
+        # tracing() context): clocks on the hot path advance millions of
+        # times, and an always-on list both costs memory and grows
+        # unboundedly for long runs
         self._events: List[Tuple[float, str]] = []
-        self._trace_enabled = False
+        self._trace_enabled = bool(record_events)
 
     @property
     def now(self) -> float:
@@ -81,14 +86,25 @@ class VirtualClock:
         """A copy of the full category → seconds breakdown."""
         return dict(self._accounts)
 
+    @property
+    def events(self) -> List[Tuple[float, str]]:
+        """The recorded (timestamp, category) events (empty unless the
+        clock was built with ``record_events=True`` or advanced inside a
+        ``tracing()`` context)."""
+        return list(self._events)
+
+    def clear_events(self) -> None:
+        self._events.clear()
+
     @contextlib.contextmanager
     def tracing(self) -> Iterator[List[Tuple[float, str]]]:
         """Record (timestamp, category) events while the context is open."""
+        previous = self._trace_enabled
         self._trace_enabled = True
         try:
             yield self._events
         finally:
-            self._trace_enabled = False
+            self._trace_enabled = previous
 
     def fork(self, name: str) -> "VirtualClock":
         """A new clock starting at this clock's current time."""

@@ -133,6 +133,56 @@ class TestSchedulingAndAccounting:
         assert metrics.commands == 2
         assert metrics.per_function["doWork"] == 2
 
+    def test_per_function_distinguishes_functions(self, setup):
+        router, _ = setup
+        table = router.tables["testapi"]
+        table.functions["other"] = RoutingInfo(name="other")
+        send(router, make_command())
+        send(router, make_command(function="other"))
+        metrics = router.metrics_for("vm1")
+        assert metrics.per_function == {"doWork": 1, "other": 1}
+        # rejections are not counted as routed commands
+        send(router, make_command(function="sneaky"))
+        assert metrics.per_function == {"doWork": 1, "other": 1}
+
+
+class TestRouterTracing:
+    def test_policy_and_queue_spans_recorded(self, setup):
+        from repro.telemetry import Tracer, use
+
+        router, _ = setup
+        tracer = Tracer()
+        with use(tracer):
+            command = make_command()
+            command.span_id = 77
+            send(router, command, arrival=1.0)
+        names = {s.name: s for s in tracer.spans}
+        policy = names["router.policy"]
+        queue = names["router.queue"]
+        assert policy.parent_id == 77 and queue.parent_id == 77
+        assert policy.layer == "router"
+        assert policy.start == 1.0
+        assert policy.end == pytest.approx(1.0 + router.interposition_cost)
+        assert queue.start == policy.end
+
+    def test_rejection_span_carries_reason(self, setup):
+        from repro.telemetry import Tracer, use
+
+        router, _ = setup
+        tracer = Tracer()
+        with use(tracer):
+            send(router, make_command(function="sneaky"))
+        (span,) = tracer.spans
+        assert span.name == "router.policy"
+        assert "does not route" in span.attrs["rejected"]
+
+    def test_no_spans_without_tracer(self, setup):
+        from repro.telemetry import tracer as tele
+
+        router, _ = setup
+        send(router, make_command())
+        assert tele.active().all_spans() == []
+
     def test_payload_bytes_accounted(self, setup):
         router, _ = setup
         send(router, make_command(in_buffers={"d": b"x" * 64}))
