@@ -57,11 +57,12 @@ class RingTransport(Transport):
                 3 * self.doorbell_latency
                 + nbytes * self.copy_byte_cost * 1.25
             )
-        # one doorbell per full ring drain; the producer stalls while the
-        # consumer empties the ring, so huge messages pay extra doorbells
-        doorbells = math.ceil(needed / self.slots) + (needed - 1) // 64
+        # one doorbell for the submission, plus one per 64-slot drain
+        # batch beyond the first: the producer stalls while the consumer
+        # empties the ring, so huge messages pay extra doorbells
+        doorbells = 1 + (needed - 1) // 64
         return (
-            (1 + doorbells) * self.doorbell_latency
+            doorbells * self.doorbell_latency
             + nbytes * self.copy_byte_cost
         )
 
