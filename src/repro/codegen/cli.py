@@ -124,6 +124,26 @@ def _cmd_top(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.faults.chaos import run_all_modes, run_chaos
+
+    seed = args.seed
+    if seed is None:
+        seed = int(os.environ.get("CAVA_CHAOS_SEED", "1234"))
+    if args.mode == "each":
+        reports = run_all_modes(seed=seed, workload=args.workload,
+                                scale=args.scale)
+        for report in reports.values():
+            print(report.format())
+        return 0 if all(r.contained for r in reports.values()) else 1
+    report = run_chaos(mode=args.mode, seed=seed, workload=args.workload,
+                       scale=args.scale)
+    print(report.format())
+    return 0 if report.contained else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cava",
@@ -178,6 +198,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     top.add_argument("trace", help="Perfetto JSON or JSONL trace file")
     top.set_defaults(func=_cmd_top)
+
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection smoke run over a real workload"
+    )
+    chaos.add_argument(
+        "--mode", default="all",
+        choices=["drop", "corrupt", "delay", "duplicate", "crash", "all",
+                 "each"],
+        help="fault mode preset; 'each' runs every mode in turn",
+    )
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="fault-plan seed (default: $CAVA_CHAOS_SEED "
+                            "or 1234)")
+    chaos.add_argument("--workload", default="bfs",
+                       help="OpenCL workload name (default: bfs)")
+    chaos.add_argument("--scale", type=float, default=0.06,
+                       help="workload scale factor")
+    chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 

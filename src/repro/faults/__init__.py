@@ -1,0 +1,59 @@
+"""Fault injection and recovery for the forwarding stack.
+
+The paper's interposition story only matters if the interposed path
+stays trustworthy under hostile or flaky conditions: untrusted guest
+bytes, a channel that drops or corrupts frames, an API server process
+that dies mid-call.  This package makes those conditions reproducible:
+
+* :class:`FaultPlan` — a deterministic, seeded schedule of faults
+  (drop / corrupt / delay / duplicate a frame, crash the worker on the
+  Nth call),
+* :class:`FaultyTransport` — a decorator injecting the plan's faults
+  into any transport,
+* :class:`RetryPolicy` — guest-runtime timeout/backoff retry knobs for
+  idempotent calls,
+* :class:`WorkerCrashed` / :class:`WorkerLost` — the crash-containment
+  exceptions the router converts into ``server-lost`` replies,
+* :func:`run_chaos` — the ``cava chaos`` smoke harness.
+
+Nothing here is on the default path: with no plan installed the stack's
+virtual-time results are bit-identical to a build without this package.
+"""
+
+from repro.faults.errors import (
+    FaultInjectionError,
+    WorkerCrashed,
+    WorkerLost,
+)
+from repro.faults.plan import (
+    MODES,
+    FaultDecision,
+    FaultEvent,
+    FaultPlan,
+    RetryPolicy,
+)
+from repro.faults.transport import FaultyTransport
+
+__all__ = [
+    "FaultDecision",
+    "FaultEvent",
+    "FaultInjectionError",
+    "FaultPlan",
+    "FaultyTransport",
+    "MODES",
+    "RetryPolicy",
+    "WorkerCrashed",
+    "WorkerLost",
+    "run_chaos",
+]
+
+
+def run_chaos(*args, **kwargs):
+    """Lazy alias for :func:`repro.faults.chaos.run_chaos`.
+
+    The chaos harness imports workloads and the full stack; importing it
+    lazily keeps ``repro.faults`` cheap for the data path.
+    """
+    from repro.faults.chaos import run_chaos as _run_chaos
+
+    return _run_chaos(*args, **kwargs)

@@ -1,0 +1,36 @@
+"""Failure-path exception types shared across layers.
+
+These live in their own dependency-free module because both sides of
+the interposition boundary need them: the hypervisor raises
+:class:`WorkerLost` from its worker resolver, fault hooks raise
+:class:`WorkerCrashed` inside the API server, and the router converts
+both into structured ``server-lost`` error replies without ever letting
+them escape :meth:`Router.deliver`.
+"""
+
+from __future__ import annotations
+
+
+class FaultInjectionError(Exception):
+    """Invalid fault-plan configuration (bad rates, unknown mode...)."""
+
+
+class WorkerCrashed(Exception):
+    """The API server worker process died mid-call.
+
+    In a real deployment this is the worker process exiting; here it is
+    raised by an injected fault hook (or any future health check) and
+    deliberately *not* caught by the worker's own fault-isolation
+    boundary — a dead process cannot produce an error reply.  The router
+    converts it into a ``server-lost`` reply for the affected VM only.
+    """
+
+
+class WorkerLost(Exception):
+    """The VM's worker crashed earlier and has not been restarted.
+
+    Raised by the hypervisor's worker resolver so the router can answer
+    subsequent commands from that VM with a clean ``server-lost`` error
+    instead of silently spawning a fresh worker (guest-held handles died
+    with the old process; the guest must observe the loss).
+    """

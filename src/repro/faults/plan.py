@@ -1,0 +1,240 @@
+"""Deterministic, seeded fault plans.
+
+A :class:`FaultPlan` is the single source of truth for *what goes wrong*
+in a run: per-frame drop / corrupt / delay / duplicate decisions drawn
+from a seeded RNG (so a chaos run is exactly reproducible), plus an
+optional worker-crash trigger ("crash the API server on the Nth call").
+The plan itself injects nothing — :class:`~repro.faults.transport.
+FaultyTransport` consults it on the wire path and the hypervisor wires
+its :meth:`worker_hook` into API server workers.
+
+Every injected fault is recorded as a :class:`FaultEvent`, so tests and
+the ``cava chaos`` report can assert that what was supposed to go wrong
+actually did, and correlate it with traces and metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
+
+from repro.faults.errors import FaultInjectionError, WorkerCrashed
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.remoting.codec import Command
+
+#: the fault modes ``FaultPlan.for_mode`` understands
+MODES = ("drop", "corrupt", "delay", "duplicate", "crash")
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, for post-run inspection."""
+
+    kind: str  # "drop" | "corrupt" | "delay" | "duplicate" | "crash"
+    leg: str  # "command" | "reply" | "worker"
+    vm_id: str
+    function: str
+    seq: int
+    time: float
+
+
+@dataclass
+class FaultDecision:
+    """What the plan chose to do to one frame."""
+
+    drop: bool = False
+    corrupt: bool = False
+    duplicate: bool = False
+    delay: float = 0.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Guest-runtime recovery knobs for transport-level failures.
+
+    Only *idempotent* calls are retried — synchronous calls that neither
+    return nor output fresh handles (see ``docs/faults.md``).  Retries
+    use bounded exponential backoff on the guest's virtual clock.
+    """
+
+    max_retries: int = 5
+    base_backoff: float = 25e-6
+    multiplier: float = 2.0
+    max_backoff: float = 800e-6
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), in virtual seconds."""
+        return min(self.base_backoff * self.multiplier ** attempt,
+                   self.max_backoff)
+
+
+class FaultPlan:
+    """A seeded schedule of transport and worker faults.
+
+    Rates are per-frame probabilities in [0, 1].  All randomness comes
+    from one ``random.Random(seed)`` stream, so a plan replayed against
+    the same deterministic workload injects exactly the same faults.
+    """
+
+    def __init__(
+        self,
+        seed: int = 1234,
+        drop: float = 0.0,
+        corrupt: float = 0.0,
+        delay: float = 0.0,
+        duplicate: float = 0.0,
+        drop_replies: float = 0.0,
+        delay_replies: float = 0.0,
+        delay_seconds: float = 40e-6,
+        timeout: float = 200e-6,
+        crash_on_call: Optional[int] = None,
+        crash_vm: Optional[str] = None,
+    ) -> None:
+        for name, rate in (("drop", drop), ("corrupt", corrupt),
+                           ("delay", delay), ("duplicate", duplicate),
+                           ("drop_replies", drop_replies),
+                           ("delay_replies", delay_replies)):
+            if not 0.0 <= rate <= 1.0:
+                raise FaultInjectionError(
+                    f"{name} rate {rate} outside [0, 1]"
+                )
+        if crash_on_call is not None and crash_on_call < 1:
+            raise FaultInjectionError(
+                f"crash_on_call must be >= 1, got {crash_on_call}"
+            )
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.drop = drop
+        self.corrupt = corrupt
+        self.delay = delay
+        self.duplicate = duplicate
+        self.drop_replies = drop_replies
+        self.delay_replies = delay_replies
+        self.delay_seconds = delay_seconds
+        #: virtual seconds a guest waits before declaring a frame lost
+        self.timeout = timeout
+        self.crash_on_call = crash_on_call
+        self.crash_vm = crash_vm
+        #: reason string once the crash trigger has fired (crashes once)
+        self.crashed: Optional[str] = None
+        self._crash_counts: Dict[Tuple[str, str], int] = {}
+        #: every injected fault, in injection order
+        self.events: List[FaultEvent] = []
+
+    # -- presets ---------------------------------------------------------------
+
+    @classmethod
+    def for_mode(cls, mode: str, seed: int = 1234,
+                 **overrides: Any) -> "FaultPlan":
+        """A ready-made plan exercising one fault mode (or ``all``)."""
+        presets: Dict[str, Dict[str, Any]] = {
+            "drop": {"drop": 0.04, "drop_replies": 0.02},
+            "corrupt": {"corrupt": 0.04},
+            "delay": {"delay": 0.3, "delay_replies": 0.3},
+            "duplicate": {"duplicate": 0.05},
+            "crash": {"crash_on_call": 4},
+            "all": {"drop": 0.02, "corrupt": 0.02, "delay": 0.1,
+                    "duplicate": 0.02, "drop_replies": 0.01},
+        }
+        settings = presets.get(mode)
+        if settings is None:
+            raise FaultInjectionError(
+                f"unknown fault mode {mode!r}; choose from "
+                f"{sorted(presets)}"
+            )
+        merged = dict(settings)
+        merged.update(overrides)
+        return cls(seed=seed, **merged)
+
+    # -- per-frame decisions ---------------------------------------------------
+
+    def decide_command(self, command: "Command") -> FaultDecision:
+        """Draw the fate of one guest→host frame."""
+        rng = self._rng
+        return FaultDecision(
+            drop=rng.random() < self.drop,
+            corrupt=rng.random() < self.corrupt,
+            duplicate=rng.random() < self.duplicate,
+            delay=(self.delay_seconds if rng.random() < self.delay else 0.0),
+        )
+
+    def decide_reply(self, command: "Command") -> FaultDecision:
+        """Draw the fate of one host→guest frame."""
+        rng = self._rng
+        return FaultDecision(
+            drop=rng.random() < self.drop_replies,
+            delay=(self.delay_seconds
+                   if rng.random() < self.delay_replies else 0.0),
+        )
+
+    def corrupt_bytes(self, wire: bytes) -> bytes:
+        """Damage a frame the way a broken channel would.
+
+        All three corruption styles are guaranteed to break framing
+        (bad magic, truncation, or an impossible length header) so the
+        receiver always detects the damage — modeling a transport with
+        frame checksums, where corruption means a failed CRC rather
+        than silently poisoned payload bytes.
+        """
+        if len(wire) < 6:
+            return b"\x00" * len(wire)
+        style = self._rng.randrange(3)
+        if style == 0:  # stomp the magic
+            return b"\x00\x00" + wire[2:]
+        if style == 1:  # truncate mid-frame
+            return wire[: self._rng.randrange(len(wire))]
+        # impossible length header
+        mutated = bytearray(wire)
+        for index in range(2, 6):
+            mutated[index] ^= 0xFF
+        return bytes(mutated)
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def record(self, kind: str, leg: str, command: "Command",
+               time: float) -> FaultEvent:
+        """Log one injected fault."""
+        event = FaultEvent(kind=kind, leg=leg, vm_id=command.vm_id,
+                           function=command.function, seq=command.seq,
+                           time=time)
+        self.events.append(event)
+        return event
+
+    def counts(self) -> Dict[str, int]:
+        """Injected-fault totals by kind (for reports and assertions)."""
+        totals: Dict[str, int] = {}
+        for event in self.events:
+            totals[event.kind] = totals.get(event.kind, 0) + 1
+        return totals
+
+    # -- worker crash trigger --------------------------------------------------
+
+    def worker_hook(self):
+        """The per-command hook the hypervisor installs on workers.
+
+        Counts executed calls per worker and raises
+        :class:`WorkerCrashed` on the configured Nth call of the target
+        VM's worker.  Fires at most once per plan, so a restarted worker
+        does not immediately die again.
+        """
+
+        def hook(worker: Any, command: "Command") -> None:
+            if self.crash_on_call is None or self.crashed is not None:
+                return
+            if self.crash_vm is not None and worker.vm_id != self.crash_vm:
+                return
+            key = (worker.vm_id, worker.api_name)
+            count = self._crash_counts.get(key, 0) + 1
+            self._crash_counts[key] = count
+            if count >= self.crash_on_call:
+                reason = (
+                    f"injected crash on call #{count} of worker "
+                    f"{worker.vm_id}/{worker.api_name}"
+                )
+                self.crashed = reason
+                self.record("crash", "worker", command, worker.clock.now)
+                raise WorkerCrashed(reason)
+
+        return hook

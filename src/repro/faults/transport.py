@@ -1,0 +1,164 @@
+"""A fault-injecting decorator over any transport.
+
+``FaultyTransport`` wraps a real transport and threads its frames
+through a :class:`~repro.faults.plan.FaultPlan`: command frames may be
+dropped, corrupted, delayed, or duplicated in flight, and reply frames
+dropped or delayed.  Costs still come from the wrapped transport, so a
+fault-free frame is priced exactly as it would be without the wrapper.
+
+Failure semantics mirror a real channel:
+
+* a **dropped** frame (either leg) surfaces as a guest-side timeout —
+  the synthesized error reply is marked ``timed_out`` so the guest
+  runtime's retry machinery can tell a lost frame from an API error;
+* a **corrupted** command frame really reaches the router as damaged
+  bytes (exercising the codec's trust boundary); the router's
+  malformed-command reply is then surfaced as a retransmittable
+  timeout, the way a CRC failure would be;
+* a **duplicated** frame is delivered to the router twice — the paper's
+  at-least-once hazard — with the stale reply discarded;
+* a **delayed** frame just arrives late.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+from repro.faults.plan import FaultPlan
+from repro.remoting.codec import Reply, decode_message, encode_message
+from repro.telemetry import tracer as _tele
+from repro.transport.base import DeliveryResult, Transport, TransportError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.remoting.codec import Command
+
+
+class FaultyTransport(Transport):
+    """Wraps an inner transport, injecting faults from a plan."""
+
+    def __init__(self, inner: Transport, plan: FaultPlan) -> None:
+        super().__init__(inner.router)
+        self.inner = inner
+        self.plan = plan
+        self.name = f"faulty+{inner.name}"
+
+    # -- costs delegate to the wrapped transport -----------------------------
+
+    def send_cost(self, nbytes: int) -> float:
+        return self.inner.send_cost(nbytes)
+
+    def recv_cost(self, nbytes: int) -> float:
+        return self.inner.recv_cost(nbytes)
+
+    def enqueue_cost(self, nbytes: int) -> float:
+        return self.inner.enqueue_cost(nbytes)
+
+    def span_attrs(self, nbytes: int) -> Dict[str, Any]:
+        return self.inner.span_attrs(nbytes)
+
+    # -- fault-injecting delivery --------------------------------------------
+
+    def _trace_fault(self, kind: str, leg: str, command: "Command",
+                     time: float) -> None:
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                f"fault.{kind}", time, time, layer="transport",
+                parent_id=command.span_id, vm_id=command.vm_id,
+                api=command.api, function=command.function,
+                kind_detail=leg, seq=command.seq,
+            )
+
+    def _timeout_result(self, command: "Command", sent_at: float,
+                        why: str) -> DeliveryResult:
+        timeout = self.plan.timeout
+        reply = Reply(
+            seq=command.seq,
+            error=(f"transport: timeout after {timeout * 1e6:.0f}us "
+                   f"({why})"),
+            complete_time=sent_at + timeout,
+        )
+        return DeliveryResult(
+            reply=reply, sent_at=sent_at,
+            completed_at=reply.complete_time, reply_cost=0.0,
+            timed_out=True,
+        )
+
+    def deliver(self, command: "Command", guest_now: float,
+                asynchronous: bool = False) -> DeliveryResult:
+        plan = self.plan
+        wire = encode_message(command)
+        self.tx_bytes += len(wire)
+        self.messages += 1
+        cost = (self.enqueue_cost(len(wire)) if asynchronous
+                else self.send_cost(len(wire)))
+        sent_at = guest_now + cost
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "transport.send", guest_now, sent_at,
+                layer="transport",
+                parent_id=command.span_id,
+                vm_id=command.vm_id, api=command.api,
+                function=command.function,
+                transport=self.name, wire_bytes=len(wire),
+                submit="async" if asynchronous else "sync",
+                **self.span_attrs(len(wire)),
+            )
+
+        decision = plan.decide_command(command)
+        if decision.delay:
+            plan.record("delay", "command", command, sent_at)
+            self._trace_fault("delay", "command", command, sent_at)
+            sent_at += decision.delay
+        if decision.drop:
+            plan.record("drop", "command", command, sent_at)
+            self._trace_fault("drop", "command", command, sent_at)
+            return self._timeout_result(command, sent_at,
+                                        "command frame dropped")
+
+        deliver_wire = wire
+        if decision.corrupt:
+            deliver_wire = plan.corrupt_bytes(wire)
+            plan.record("corrupt", "command", command, sent_at)
+            self._trace_fault("corrupt", "command", command, sent_at)
+        if decision.duplicate:
+            # at-least-once delivery: the frame arrives twice; the first
+            # copy executes too, and its reply is discarded as stale
+            plan.record("duplicate", "command", command, sent_at)
+            self._trace_fault("duplicate", "command", command, sent_at)
+            self.router.deliver(bytes(deliver_wire), sent_at,
+                                source=command.vm_id)
+
+        reply_wire = self.router.deliver(bytes(deliver_wire), sent_at,
+                                         source=command.vm_id)
+        reply = decode_message(reply_wire)
+        if not isinstance(reply, Reply):
+            raise TransportError("router returned a non-reply message")
+        self.rx_bytes += len(reply_wire)
+
+        if decision.corrupt and reply.error is not None:
+            # the router detected the damage (failed CRC, in effect):
+            # the command never executed, so it is safe to retransmit
+            return self._timeout_result(command, sent_at,
+                                        "command frame corrupted in flight")
+
+        completed_at = reply.complete_time
+        reply_decision = plan.decide_reply(command)
+        if reply_decision.drop:
+            # the call *did* execute host-side; only the answer was lost
+            plan.record("drop", "reply", command, completed_at)
+            self._trace_fault("drop", "reply", command, completed_at)
+            return self._timeout_result(command, sent_at,
+                                        "reply frame dropped")
+        if reply_decision.delay:
+            plan.record("delay", "reply", command, completed_at)
+            self._trace_fault("delay", "reply", command, completed_at)
+            completed_at += reply_decision.delay
+
+        return DeliveryResult(
+            reply=reply,
+            sent_at=sent_at,
+            completed_at=completed_at,
+            reply_cost=self.recv_cost(len(reply_wire)),
+        )

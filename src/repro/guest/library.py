@@ -42,11 +42,15 @@ class GuestRuntime:
         api_name: str,
         marshal_call_cost: float = 0.6e-6,
         marshal_byte_cost: float = 0.002e-9,
+        retry_policy: Optional[Any] = None,
     ) -> None:
         self.driver = driver
         self.api_name = api_name
         self.marshal_call_cost = marshal_call_cost
         self.marshal_byte_cost = marshal_byte_cost
+        #: RetryPolicy for transport timeouts; None disables retries
+        #: (the default, so the fault-free path is cost-identical)
+        self.retry_policy = retry_policy
         #: deferred error from an earlier async call (delivered later)
         self.pending_async_error: Optional[float] = None
         #: guest callback registry: id → callable (§4.2 callbacks)
@@ -55,6 +59,9 @@ class GuestRuntime:
         #: counters for tests and the harness
         self.calls_sync = 0
         self.calls_async = 0
+        #: transport-failure recovery counters
+        self.retries = 0
+        self.giveups = 0
 
     @property
     def clock(self):
@@ -243,6 +250,8 @@ class GuestRuntime:
         result = self.driver.transport.deliver(
             command, clock.now, asynchronous=(mode == "async")
         )
+        if result.timed_out and self._retryable(mode, ret_kind, out_targets):
+            result = self._retry(command, result, clock, tracer, span)
         clock.advance_to(result.sent_at, "transport")
 
         if mode == "async":
@@ -297,6 +306,53 @@ class GuestRuntime:
             if value == success:
                 return deferred
         return value
+
+    # -- transport-failure recovery ---------------------------------------------
+
+    def _retryable(self, mode: str, ret_kind: str,
+                   out_targets: Dict[str, Tuple[str, Any]]) -> bool:
+        """Only idempotent calls may be retransmitted.
+
+        A lost frame leaves the guest unsure whether the call executed
+        host-side; retransmission is safe only when re-execution cannot
+        mint fresh handles the guest would then leak (sync calls that
+        neither return nor output handles).  Async submissions are never
+        retried — their errors already arrive late by design (§4.2).
+        """
+        if self.retry_policy is None or mode != "sync":
+            return False
+        if ret_kind == "handle":
+            return False
+        return not any(kind in ("handle_box", "handle_array")
+                       for kind, _target in out_targets.values())
+
+    def _retry(self, command: Command, result: Any, clock: Any,
+               tracer: Any, span: Any) -> Any:
+        """Retransmit a timed-out idempotent command with backoff."""
+        policy = self.retry_policy
+        for attempt in range(policy.max_retries):
+            if not result.timed_out:
+                return result
+            backoff = policy.backoff_for(attempt)
+            # sit out the timeout window, then back off and retransmit
+            clock.advance_to(result.completed_at, "retry")
+            backoff_start = clock.now
+            clock.advance(backoff, "retry")
+            self.retries += 1
+            if span is not None:
+                tracer.record_span(
+                    "retry", backoff_start, clock.now, layer="guest",
+                    attempt=attempt + 1, seq=command.seq,
+                    backoff=backoff, cause=result.reply.error,
+                )
+            result = self.driver.transport.deliver(
+                command, clock.now, asynchronous=False
+            )
+        if result.timed_out:
+            self.giveups += 1
+            if span is not None:
+                span.attrs["gave_up_after"] = policy.max_retries
+        return result
 
     # -- reply handling ---------------------------------------------------------
 

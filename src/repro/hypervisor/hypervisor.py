@@ -12,6 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, ContextManager, Dict, Optional, Tuple
 
+from repro.faults.errors import WorkerLost
+from repro.faults.plan import FaultPlan
+from repro.faults.transport import FaultyTransport
 from repro.hypervisor.policy import RateLimiter, ResourcePolicy
 from repro.hypervisor.router import Router, RoutingTable
 from repro.hypervisor.vm import GuestVM
@@ -55,16 +58,48 @@ class Hypervisor:
         self.policy = policy or ResourcePolicy()
         self.rate_limiter = RateLimiter(self.policy)
         self.router = Router(self._worker_for, rate_limiter=self.rate_limiter,
-                             policy=self.policy)
+                             policy=self.policy,
+                             on_worker_lost=self._on_worker_lost)
         self.apis: Dict[str, ApiRegistration] = {}
         self.vms: Dict[str, GuestVM] = {}
         self.workers: Dict[Tuple[str, str], ApiServerWorker] = {}
+        #: active fault plan, if any (None keeps costs bit-identical)
+        self.fault_plan: Optional[FaultPlan] = None
+        self._fault_hook: Optional[Any] = None
+        self._retry_policy: Optional[Any] = None
+        #: (vm_id, api) → crash reason, until restart_worker() clears it
+        self.lost_workers: Dict[Tuple[str, str], str] = {}
 
     # -- configuration ---------------------------------------------------------
 
     def register_api(self, registration: ApiRegistration) -> None:
         self.apis[registration.name] = registration
         self.router.register_api(registration.routing_table)
+
+    def install_fault_plan(self, plan: FaultPlan,
+                           retry_policy: Optional[Any] = None) -> None:
+        """Arm a fault plan across the whole stack.
+
+        Existing and future VM channels are wrapped in a
+        :class:`FaultyTransport`, workers get the plan's crash hook, and
+        guests get ``retry_policy`` (defaulting to the plan's implied
+        :class:`~repro.faults.plan.RetryPolicy`) for idempotent-call
+        retransmission.
+        """
+        from repro.faults.plan import RetryPolicy
+
+        self.fault_plan = plan
+        self._fault_hook = plan.worker_hook()
+        policy = retry_policy if retry_policy is not None else RetryPolicy()
+        for worker in self.workers.values():
+            worker.fault_hook = self._fault_hook
+        for vm in self.vms.values():
+            if not isinstance(vm.driver.transport, FaultyTransport):
+                vm.driver.transport = FaultyTransport(
+                    vm.driver.transport, plan
+                )
+            vm.set_retry_policy(policy)
+        self._retry_policy = policy
 
     def create_vm(self, vm_id: str, transport: str = "inproc",
                   **transport_kwargs: Any) -> GuestVM:
@@ -77,7 +112,11 @@ class Hypervisor:
                 f"choose from {sorted(TRANSPORTS)}"
             )
         channel: Transport = transport_cls(self.router, **transport_kwargs)
+        if self.fault_plan is not None:
+            channel = FaultyTransport(channel, self.fault_plan)
         vm = GuestVM(vm_id, channel)
+        if self._retry_policy is not None:
+            vm.set_retry_policy(self._retry_policy)
         self.vms[vm_id] = vm
         self.router.register_vm(vm_id)
         for api in self.apis.values():
@@ -95,12 +134,49 @@ class Hypervisor:
 
     def _worker_for(self, vm_id: str, api_name: str) -> Optional[ApiServerWorker]:
         key = (vm_id, api_name)
+        if key in self.lost_workers:
+            raise WorkerLost(
+                f"API server for VM {vm_id!r} API {api_name!r} crashed "
+                f"({self.lost_workers[key]}); awaiting restart_worker()"
+            )
         worker = self.workers.get(key)
         if worker is not None:
             return worker
         registration = self.apis.get(api_name)
         if registration is None or vm_id not in self.vms:
             return None
+        worker = self._spawn_worker(vm_id, registration)
+        self.workers[key] = worker
+        return worker
+
+    def _on_worker_lost(self, vm_id: str, api_name: str,
+                        reason: str) -> None:
+        """Router notification: a worker died mid-call.  Tear it down.
+
+        The dead worker's handle table is invalidated and further calls
+        from its VM get ``server-lost`` errors until
+        :meth:`restart_worker`; every other VM's worker is untouched.
+        """
+        key = (vm_id, api_name)
+        worker = self.workers.pop(key, None)
+        if worker is not None:
+            worker.crash(reason)
+        self.lost_workers[key] = reason
+
+    def restart_worker(self, vm_id: str, api_name: str) -> ApiServerWorker:
+        """Bring up a fresh worker for a crashed (VM, API) pair.
+
+        The new worker starts with an empty handle table — guest-held
+        handles into the dead process are gone, exactly as if a real API
+        server process had been relaunched.
+        """
+        key = (vm_id, api_name)
+        self.lost_workers.pop(key, None)
+        registration = self.apis.get(api_name)
+        if registration is None or vm_id not in self.vms:
+            raise KeyError(
+                f"cannot restart worker for VM {vm_id!r} API {api_name!r}"
+            )
         worker = self._spawn_worker(vm_id, registration)
         self.workers[key] = worker
         return worker
@@ -117,6 +193,8 @@ class Hypervisor:
             record_kinds=registration.record_kinds,
         )
         worker.session_factory = registration.session_binder(worker)
+        if self._fault_hook is not None:
+            worker.fault_hook = self._fault_hook
         return worker
 
     def worker(self, vm_id: str, api_name: str) -> ApiServerWorker:
@@ -156,6 +234,7 @@ class Hypervisor:
             report[vm_id] = {
                 "commands": metrics.commands,
                 "rejected": metrics.rejected,
+                "server_lost": metrics.server_lost,
                 "payload_bytes": metrics.payload_bytes,
                 "rate_delay": metrics.rate_delay,
                 "resources": dict(metrics.resources),

@@ -15,8 +15,9 @@ path around it.  The router (paper §4.1, §4.3):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
+from repro.faults.errors import WorkerCrashed, WorkerLost
 from repro.remoting.codec import (
     CodecError,
     Command,
@@ -76,9 +77,23 @@ class VMMetrics:
     rejected: int = 0
     payload_bytes: int = 0
     rate_delay: float = 0.0
+    #: commands answered with a server-lost error (worker crashed)
+    server_lost: int = 0
     #: resource name → accumulated estimate (from `consumes` annotations)
     resources: Dict[str, float] = field(default_factory=dict)
     per_function: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class BreakerState:
+    """Circuit-breaker bookkeeping for one frame source (VM channel)."""
+
+    #: arrival times of recent malformed frames (pruned to the window)
+    strikes: List[float] = field(default_factory=list)
+    #: rejected outright until this virtual time
+    open_until: float = 0.0
+    #: how many times the breaker opened for this source
+    tripped: int = 0
 
 
 class RouterError(Exception):
@@ -99,6 +114,10 @@ class Router:
         policy: Optional[Any] = None,
         interposition_cost: float = 0.4e-6,
         max_payload_bytes: int = 256 * 1024 * 1024,
+        on_worker_lost: Optional[Callable[[str, str, str], None]] = None,
+        breaker_threshold: int = 8,
+        breaker_window: float = 1e-3,
+        breaker_cooldown: float = 5e-3,
     ) -> None:
         self.worker_resolver = worker_resolver
         self.rate_limiter = rate_limiter
@@ -106,9 +125,24 @@ class Router:
         self.policy = policy
         self.interposition_cost = interposition_cost
         self.max_payload_bytes = max_payload_bytes
+        #: notified as (vm_id, api, reason) when a worker dies mid-call
+        self.on_worker_lost = on_worker_lost
+        #: malformed frames within this window trip the source's breaker
+        self.breaker_threshold = breaker_threshold
+        self.breaker_window = breaker_window
+        self.breaker_cooldown = breaker_cooldown
         self.tables: Dict[str, RoutingTable] = {}
         self.metrics: Dict[str, VMMetrics] = {}
         self.known_vms: set = set()
+        #: rejections of commands claiming an *unknown* VM id — one
+        #: bounded counter: untrusted bytes must not grow ``metrics``
+        self.unknown_rejections = 0
+        #: frames that failed decoding entirely (no attributable VM)
+        self.malformed_frames = 0
+        #: per-source circuit breakers, keyed by the transport-attested
+        #: VM id (bounded: sources are hypervisor-created channels, not
+        #: attacker-chosen bytes)
+        self.breakers: Dict[str, BreakerState] = {}
 
     # -- configuration -------------------------------------------------------
 
@@ -201,20 +235,61 @@ class Router:
                 entry.resources.get(resource, 0.0) + amount
             )
 
+    # -- the malformed-frame circuit breaker -----------------------------------
+
+    def _strike(self, source: Optional[str], arrival: float) -> None:
+        """Record a malformed frame from ``source``; maybe open its breaker."""
+        if source is None:
+            return
+        state = self.breakers.setdefault(source, BreakerState())
+        state.strikes = [
+            t for t in state.strikes if t > arrival - self.breaker_window
+        ]
+        state.strikes.append(arrival)
+        if len(state.strikes) >= self.breaker_threshold:
+            state.open_until = arrival + self.breaker_cooldown
+            state.tripped += 1
+            state.strikes.clear()
+
+    def _breaker_open(self, source: Optional[str], arrival: float) -> bool:
+        if source is None:
+            return False
+        state = self.breakers.get(source)
+        return state is not None and arrival < state.open_until
+
     # -- the data path -----------------------------------------------------------
 
-    def deliver(self, wire: bytes, arrival: float) -> bytes:
+    def deliver(self, wire: bytes, arrival: float,
+                source: Optional[str] = None) -> bytes:
         """Verify, schedule and dispatch one encoded command; returns the
         encoded reply.  Verification failures produce error replies (the
-        guest sees a failed call, the host is untouched)."""
+        guest sees a failed call, the host is untouched).
+
+        ``source`` is the transport-attested VM id of the sending
+        channel (not a decoded field — the frame may not decode at
+        all); it feeds the malformed-frame circuit breaker.
+        """
+        if self._breaker_open(source, arrival):
+            if source in self.known_vms:
+                self.metrics_for(source).rejected += 1
+            return encode_message(
+                Reply(seq=-1,
+                      error=(f"router: circuit open for VM {source!r} "
+                             f"(malformed-frame flood)"),
+                      complete_time=arrival)
+            )
         try:
             command = decode_message(wire)
         except CodecError as err:
+            self.malformed_frames += 1
+            self._strike(source, arrival)
             return encode_message(
                 Reply(seq=-1, error=f"router: malformed command ({err})",
                       complete_time=arrival)
             )
         if not isinstance(command, Command):
+            self.malformed_frames += 1
+            self._strike(source, arrival)
             return encode_message(
                 Reply(seq=-1, error="router: expected a command",
                       complete_time=arrival)
@@ -223,8 +298,13 @@ class Router:
         try:
             info = self._verify(command)
         except RouterError as err:
-            entry = self.metrics_for(command.vm_id)
-            entry.rejected += 1
+            # only account VMs this hypervisor actually created:
+            # ``command.vm_id`` is untrusted bytes, and growing the
+            # metrics table from it would be an unbounded-memory hole
+            if command.vm_id in self.known_vms:
+                self.metrics_for(command.vm_id).rejected += 1
+            else:
+                self.unknown_rejections += 1
             if tracer.enabled:
                 tracer.record_span(
                     "router.policy", arrival, arrival, layer="router",
@@ -286,7 +366,10 @@ class Router:
                            else "pass-through"),
             )
 
-        worker = self.worker_resolver(command.vm_id, command.api)
+        try:
+            worker = self.worker_resolver(command.vm_id, command.api)
+        except WorkerLost as err:
+            return self._server_lost_reply(command, release, str(err))
         if worker is None:
             return encode_message(
                 Reply(seq=command.seq,
@@ -294,5 +377,39 @@ class Router:
                             f"{command.vm_id!r} API {command.api!r}",
                       complete_time=release)
             )
-        reply = worker.execute(command, release)
-        return encode_message(reply)
+        try:
+            reply = worker.execute(command, release)
+        except WorkerCrashed as err:
+            # the worker process died mid-call: tear it down (the
+            # hypervisor invalidates its handle table) and answer with a
+            # clean server-lost error — other VMs' workers are untouched
+            if self.on_worker_lost is not None:
+                self.on_worker_lost(command.vm_id, command.api, str(err))
+            return self._server_lost_reply(command, release, str(err))
+        try:
+            return encode_message(reply)
+        except CodecError as err:
+            # a reply the wire can't carry must not take the router down
+            return encode_message(
+                Reply(seq=command.seq,
+                      error=f"router: reply encoding failed ({err})",
+                      complete_time=reply.complete_time)
+            )
+
+    def _server_lost_reply(self, command: Command, release: float,
+                           reason: str) -> bytes:
+        entry = self.metrics_for(command.vm_id)
+        entry.server_lost += 1
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "router.server-lost", release, release, layer="router",
+                parent_id=command.span_id, vm_id=command.vm_id,
+                api=command.api, function=command.function,
+                reason=reason,
+            )
+        return encode_message(
+            Reply(seq=command.seq,
+                  error=f"router: server-lost ({reason})",
+                  complete_time=release)
+        )

@@ -39,6 +39,11 @@ _U32 = struct.Struct(">I")
 _I64 = struct.Struct(">q")
 _F64 = struct.Struct(">d")
 
+#: maximum container nesting; guests have no business sending deeper
+#: structures, and unbounded depth turns the recursive decoder into a
+#: guest-triggerable RecursionError inside the router
+_MAX_DEPTH = 64
+
 
 def _encode_value(value: Any, out: List[bytes]) -> None:
     if value is None:
@@ -82,7 +87,22 @@ def _encode_value(value: Any, out: List[bytes]) -> None:
         raise CodecError(f"cannot encode {type(value).__name__} on the wire")
 
 
-def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
+def _unpack_from(fmt: struct.Struct, data: bytes, offset: int) -> Any:
+    """``Struct.unpack_from`` that fails as :class:`CodecError`.
+
+    Every fixed-width read in the decoder goes through here, so a frame
+    truncated mid-field can never surface as a raw ``struct.error``.
+    """
+    try:
+        (value,) = fmt.unpack_from(data, offset)
+    except struct.error as err:
+        raise CodecError(f"truncated wire data: {err}") from err
+    return value
+
+
+def _decode_value(data: bytes, offset: int, depth: int = 0) -> Tuple[Any, int]:
+    if depth > _MAX_DEPTH:
+        raise CodecError(f"wire data nested deeper than {_MAX_DEPTH}")
     if offset >= len(data):
         raise CodecError("truncated wire data")
     tag = data[offset:offset + 1]
@@ -94,13 +114,11 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
     if tag == b"F":
         return False, offset
     if tag == b"I":
-        (value,) = _I64.unpack_from(data, offset)
-        return value, offset + 8
+        return _unpack_from(_I64, data, offset), offset + 8
     if tag == b"D":
-        (value,) = _F64.unpack_from(data, offset)
-        return value, offset + 8
+        return _unpack_from(_F64, data, offset), offset + 8
     if tag in (b"S", b"B"):
-        (length,) = _U32.unpack_from(data, offset)
+        length = _unpack_from(_U32, data, offset)
         offset += 4
         chunk = data[offset:offset + length]
         if len(chunk) != length:
@@ -108,23 +126,40 @@ def _decode_value(data: bytes, offset: int) -> Tuple[Any, int]:
         offset += length
         return (chunk.decode("utf-8") if tag == b"S" else chunk), offset
     if tag == b"L":
-        (count,) = _U32.unpack_from(data, offset)
+        count = _unpack_from(_U32, data, offset)
         offset += 4
+        # the count is attacker-controlled: every item costs at least one
+        # tag byte, so a count beyond the remaining bytes is malformed —
+        # reject it before looping rather than after ~4G iterations
+        if count > len(data) - offset:
+            raise CodecError(
+                f"list count {count} exceeds {len(data) - offset} "
+                f"remaining bytes"
+            )
         items = []
         for _ in range(count):
-            item, offset = _decode_value(data, offset)
+            item, offset = _decode_value(data, offset, depth + 1)
             items.append(item)
         return items, offset
     if tag == b"M":
-        (count,) = _U32.unpack_from(data, offset)
+        count = _unpack_from(_U32, data, offset)
         offset += 4
+        # each pair costs at least 4 length bytes + 1 value tag byte
+        if count * 5 > len(data) - offset:
+            raise CodecError(
+                f"dict count {count} exceeds {len(data) - offset} "
+                f"remaining bytes"
+            )
         result: Dict[str, Any] = {}
         for _ in range(count):
-            (key_len,) = _U32.unpack_from(data, offset)
+            key_len = _unpack_from(_U32, data, offset)
             offset += 4
-            key = data[offset:offset + key_len].decode("utf-8")
+            key_chunk = data[offset:offset + key_len]
+            if len(key_chunk) != key_len:
+                raise CodecError("truncated dict key")
+            key = key_chunk.decode("utf-8")
             offset += key_len
-            value, offset = _decode_value(data, offset)
+            value, offset = _decode_value(data, offset, depth + 1)
             result[key] = value
         return result, offset
     raise CodecError(f"unknown wire tag {tag!r}")
@@ -147,7 +182,8 @@ def decode_value(data: bytes) -> Any:
     """
     try:
         value, offset = _decode_value(data, 0)
-    except (struct.error, UnicodeDecodeError, OverflowError) as err:
+    except (struct.error, UnicodeDecodeError, OverflowError,
+            RecursionError) as err:
         raise CodecError(f"malformed wire data: {err}") from err
     if offset != len(data):
         raise CodecError(f"{len(data) - offset} trailing bytes after value")
@@ -157,6 +193,36 @@ def decode_value(data: bytes) -> Any:
 # ---------------------------------------------------------------------------
 # commands and replies
 # ---------------------------------------------------------------------------
+
+
+def _checked(value: Any, types: Any, what: str) -> Any:
+    """Require a decoded wire field to have its declared type.
+
+    Message fields come from guests; building a :class:`Command` out of
+    mistyped ones would defer the blow-up to the router's accounting or
+    dispatch path (or worse: ``bytes(huge_int)`` is a memory bomb).
+    """
+    accepted = types if isinstance(types, tuple) else (types,)
+    mistyped = not isinstance(value, accepted) or (
+        isinstance(value, bool) and bool not in accepted
+    )
+    if mistyped:
+        raise CodecError(f"{what} has wire type {type(value).__name__}")
+    return value
+
+
+def _buffer_dict(value: Any, what: str) -> Dict[str, bytes]:
+    """Validate and normalize a dict of bulk byte payloads."""
+    _checked(value, dict, what)
+    result: Dict[str, bytes] = {}
+    for key, chunk in value.items():
+        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+            raise CodecError(
+                f"{what} entry {key!r} must be bytes, "
+                f"got {type(chunk).__name__}"
+            )
+        result[key] = bytes(chunk)
+    return result
 
 
 @dataclass
@@ -207,24 +273,35 @@ class Command:
 
     @classmethod
     def from_wire_dict(cls, data: Dict[str, Any]) -> "Command":
-        trace = data.get("tr") or (None, None)
+        trace = data.get("tr")
+        if trace is None:
+            trace = (None, None)
+        elif not isinstance(trace, (list, tuple)) or len(trace) != 2:
+            raise CodecError(f"malformed trace context {trace!r}")
         try:
-            return cls(
-                seq=data["seq"],
-                vm_id=data["vm"],
-                api=data["api"],
-                function=data["fn"],
-                mode=data["mode"],
-                scalars=data["scalars"],
-                handles=data["handles"],
-                in_buffers={k: bytes(v) for k, v in data["inbufs"].items()},
-                out_sizes=data["outsz"],
-                issue_time=data["t"],
+            command = cls(
+                seq=_checked(data["seq"], int, "command seq"),
+                vm_id=_checked(data["vm"], str, "command vm"),
+                api=_checked(data["api"], str, "command api"),
+                function=_checked(data["fn"], str, "command fn"),
+                mode=_checked(data["mode"], str, "command mode"),
+                scalars=_checked(data["scalars"], dict, "command scalars"),
+                handles=_checked(data["handles"], dict, "command handles"),
+                in_buffers=_buffer_dict(data["inbufs"], "command inbufs"),
+                out_sizes=_checked(data["outsz"], dict, "command outsz"),
+                issue_time=_checked(data["t"], (int, float), "command t"),
                 trace_id=trace[0],
                 span_id=trace[1],
             )
         except KeyError as missing:
             raise CodecError(f"command missing field {missing}") from None
+        for name, size in command.out_sizes.items():
+            if not isinstance(size, int) or isinstance(size, bool):
+                raise CodecError(
+                    f"command out-size {name!r} must be an int, "
+                    f"got {type(size).__name__}"
+                )
+        return command
 
 
 @dataclass
@@ -269,16 +346,21 @@ class Reply:
 
     @classmethod
     def from_wire_dict(cls, data: Dict[str, Any]) -> "Reply":
+        error = data.get("err")
+        if error is not None and not isinstance(error, str):
+            raise CodecError(
+                f"reply err has wire type {type(error).__name__}"
+            )
         try:
             return cls(
-                seq=data["seq"],
+                seq=_checked(data["seq"], int, "reply seq"),
                 return_value=data["ret"],
-                out_payloads={k: bytes(v) for k, v in data["outs"].items()},
-                out_scalars=data["oscal"],
-                new_handles=data["new"],
-                callbacks=data.get("cbs", []),
-                error=data["err"],
-                complete_time=data["t"],
+                out_payloads=_buffer_dict(data["outs"], "reply outs"),
+                out_scalars=_checked(data["oscal"], dict, "reply oscal"),
+                new_handles=_checked(data["new"], dict, "reply new"),
+                callbacks=_checked(data.get("cbs", []), list, "reply cbs"),
+                error=error,
+                complete_time=_checked(data["t"], (int, float), "reply t"),
                 span_id=data.get("tr"),
             )
         except KeyError as missing:
@@ -308,11 +390,15 @@ def decode_message(data: bytes) -> Any:
     """
     if len(data) < 6:
         raise CodecError("message too short")
-    magic, (length,) = data[:2], _U32.unpack_from(data, 2)
+    magic, length = data[:2], _unpack_from(_U32, data, 2)
     body = data[6:6 + length]
     if len(body) != length:
         raise CodecError("truncated message body")
     decoded = decode_value(body)
+    if not isinstance(decoded, dict):
+        raise CodecError(
+            f"message body is a {type(decoded).__name__}, not a dict"
+        )
     try:
         if magic == _COMMAND_MAGIC:
             return Command.from_wire_dict(decoded)

@@ -63,6 +63,12 @@ class ApiServerWorker:
         self.handle_override: Optional[Dict[str, Any]] = None
         #: poisoned workers refuse further commands (fault-injection tests)
         self.poisoned: Optional[str] = None
+        #: called as ``hook(worker, command)`` before each dispatch; a
+        #: fault plan's hook raises WorkerCrashed to model process death
+        self.fault_hook: Optional[Callable[["ApiServerWorker", Command],
+                                           None]] = None
+        #: reason string once this worker process "died"
+        self.crashed: Optional[str] = None
 
     # -- helpers the generated server stubs call ------------------------------
 
@@ -162,8 +168,23 @@ class ApiServerWorker:
 
     # -- execution ---------------------------------------------------------------
 
+    def crash(self, reason: str) -> None:
+        """Model this worker process dying: all device state is gone.
+
+        The handle table is invalidated so guest-held handles into this
+        worker can never resolve again, even through a stale reference.
+        """
+        self.crashed = reason
+        self.handles.clear()
+
     def execute(self, command: Command, release_time: float) -> Reply:
         """Run one verified command; always returns a Reply."""
+        if self.crashed is not None:
+            return Reply(
+                seq=command.seq,
+                error=f"worker: server-lost ({self.crashed})",
+                complete_time=max(release_time, self.clock.now),
+            )
         if self.poisoned is not None:
             return Reply(
                 seq=command.seq,
@@ -178,6 +199,11 @@ class ApiServerWorker:
                 complete_time=max(release_time, self.clock.now),
             )
         self.clock.advance_to(release_time, "idle")
+        if self.fault_hook is not None:
+            # may raise WorkerCrashed — deliberately outside the
+            # fault-isolation try below: a process death is not an API
+            # error this worker can answer; the router contains it
+            self.fault_hook(self, command)
         started = self.clock.now
         tracer = _tele.active()
         tspan = None

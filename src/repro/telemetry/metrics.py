@@ -88,6 +88,8 @@ class FunctionMetrics:
     sync_calls: int = 0
     async_calls: int = 0
     payload_bytes: int = 0
+    #: retransmissions of this function's timed-out frames
+    retries: int = 0
     latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
@@ -106,7 +108,12 @@ class VMTelemetry:
     #: router-level counters absorbed from the router's VMMetrics
     rejected: int = 0
     rate_delay: float = 0.0
+    #: commands answered server-lost because the VM's worker crashed
+    server_lost: int = 0
     resources: Dict[str, float] = field(default_factory=dict)
+    #: guest-runtime recovery counters (absorbed from the runtimes)
+    retries: int = 0
+    giveups: int = 0
 
     def function_metrics(self, function: str) -> FunctionMetrics:
         entry = self.functions.get(function)
@@ -164,6 +171,8 @@ class MetricsRegistry:
             entry.layer_spans[span.layer] = (
                 entry.layer_spans.get(span.layer, 0) + 1
             )
+            if span.name == "retry" and span.function:
+                entry.function_metrics(span.function).retries += 1
 
     @classmethod
     def from_spans(cls, spans: Iterable[Span]) -> "MetricsRegistry":
@@ -183,10 +192,22 @@ class MetricsRegistry:
             entry = self.vm(vm_id)
             entry.rejected += metrics.rejected
             entry.rate_delay += metrics.rate_delay
+            entry.server_lost += getattr(metrics, "server_lost", 0)
             for resource, amount in metrics.resources.items():
                 entry.resources[resource] = (
                     entry.resources.get(resource, 0.0) + amount
                 )
+
+    def absorb_runtime(self, vm_id: str, runtime: Any) -> None:
+        """Fold one guest runtime's recovery counters into this registry.
+
+        VM-level ``retries``/``giveups`` come from the runtimes (they
+        exist with tracing off); per-function retry counts come from
+        ingested ``retry`` spans when tracing is on.
+        """
+        entry = self.vm(vm_id)
+        entry.retries += runtime.retries
+        entry.giveups += runtime.giveups
 
 
 # ---------------------------------------------------------------------------

@@ -32,12 +32,17 @@ class DeliveryResult:
     ``reply``        — the decoded reply.
     ``reply_cost``   — transport seconds for the reply leg (charged to
                        the guest only if it synchronously waits).
+    ``timed_out``    — no reply arrived before the transport's timeout
+                       (frame lost or damaged in flight); the reply is
+                       a synthesized error and, for idempotent calls,
+                       the guest runtime may retransmit.
     """
 
     reply: Reply
     sent_at: float
     completed_at: float
     reply_cost: float
+    timed_out: bool = False
 
 
 class Transport:
@@ -106,7 +111,10 @@ class Transport:
                 submit="async" if asynchronous else "sync",
                 **self.span_attrs(len(wire)),
             )
-        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at)
+        # the channel, not the frame, attests who is sending: the router's
+        # circuit breaker keys on this even when the frame won't decode
+        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at,
+                                         source=command.vm_id)
         reply = decode_message(reply_wire)
         if not isinstance(reply, Reply):
             raise TransportError("router returned a non-reply message")

@@ -1,0 +1,326 @@
+"""Chaos suite: the forwarded stack stays contained under injected faults.
+
+The invariant under test (the failure-path contract of ``repro.faults``):
+whatever a :class:`FaultPlan` does to the wire or the workers, a full
+workload either completes — possibly via retries — or every affected
+call surfaces as a *structured* error (``RemotingError`` or an error
+reply), and no exception ever escapes ``Router.deliver`` or
+``Transport.deliver``.  With no plan installed, virtual-time results
+stay bit-identical.
+
+Seeded via ``CAVA_CHAOS_SEED`` (the CI chaos-smoke job pins it), so
+every run of this suite injects exactly the same faults.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.faults import (
+    MODES,
+    FaultInjectionError,
+    FaultPlan,
+    FaultyTransport,
+    RetryPolicy,
+)
+from repro.faults.chaos import run_chaos
+from repro.guest.library import RemotingError
+from repro.remoting.codec import Command
+from repro.stack import make_hypervisor
+from repro.workloads import BFSWorkload
+from repro.workloads.base import open_env
+
+SEED = int(os.environ.get("CAVA_CHAOS_SEED", "1234"))
+
+
+def fresh_stack(vm_id="v1"):
+    hypervisor = make_hypervisor(apis=("opencl",))
+    vm = hypervisor.create_vm(vm_id)
+    return hypervisor, vm
+
+
+def opened_env(vm):
+    return open_env(vm.library("opencl"))
+
+
+class TestFaultPlan:
+    def test_rates_validated(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(drop=1.5)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(corrupt=-0.1)
+        with pytest.raises(FaultInjectionError):
+            FaultPlan(crash_on_call=0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(FaultInjectionError):
+            FaultPlan.for_mode("meteor-strike")
+
+    def test_same_seed_same_decisions(self):
+        command = Command(seq=1, vm_id="v", api="a", function="f")
+        first = [FaultPlan(seed=SEED, drop=0.3, corrupt=0.3, delay=0.3,
+                           duplicate=0.3).decide_command(command)
+                 for _ in range(1)]
+        a = FaultPlan(seed=SEED, drop=0.3, corrupt=0.3, delay=0.3,
+                      duplicate=0.3)
+        b = FaultPlan(seed=SEED, drop=0.3, corrupt=0.3, delay=0.3,
+                      duplicate=0.3)
+        for _ in range(100):
+            assert a.decide_command(command) == b.decide_command(command)
+            assert a.decide_reply(command) == b.decide_reply(command)
+        assert first  # silence the single-draw warm-up
+
+    def test_corruption_always_breaks_framing(self):
+        from repro.remoting.codec import (
+            CodecError,
+            decode_message,
+            encode_message,
+        )
+
+        wire = encode_message(
+            Command(seq=9, vm_id="v", api="a", function="f",
+                    in_buffers={"d": b"payload"})
+        )
+        plan = FaultPlan(seed=SEED, corrupt=1.0)
+        for _ in range(50):
+            damaged = plan.corrupt_bytes(wire)
+            with pytest.raises(CodecError):
+                decode_message(damaged)
+
+
+class TestNoFaultBitIdentical:
+    """A zero-rate plan (and its wrapper) must be cost-transparent."""
+
+    def _run(self, install_plan):
+        hypervisor, vm = fresh_stack()
+        if install_plan:
+            hypervisor.install_fault_plan(FaultPlan(seed=SEED))
+        result = BFSWorkload(scale=0.06).run(vm.library("opencl"))
+        assert result.verified
+        return vm.clock.now
+
+    def test_virtual_time_unchanged_by_idle_plan(self):
+        assert self._run(False) == self._run(True)
+
+
+class TestRetries:
+    def test_idempotent_calls_retried_to_completion(self):
+        hypervisor, vm = fresh_stack()
+        env = opened_env(vm)
+        data = np.arange(16, dtype=np.float32)
+        mem = env.buffer(data.nbytes, host=data)
+        plan = FaultPlan(seed=5, drop=0.5)
+        hypervisor.install_fault_plan(plan)
+        runtime = vm.runtimes["opencl"]
+        ok = failed = 0
+        for _ in range(40):
+            try:
+                env.write(mem, data)
+                ok += 1
+            except RemotingError as err:
+                assert "timeout" in str(err)
+                failed += 1
+        # at 50% drop, most calls complete via retransmission and the
+        # rare giveup (6 consecutive drops) is a structured timeout
+        assert ok >= 30
+        assert runtime.retries > 0
+        assert runtime.giveups == failed
+        assert plan.counts()["drop"] >= runtime.retries
+
+    def test_retries_charge_virtual_backoff(self):
+        hypervisor, vm = fresh_stack()
+        env = opened_env(vm)
+        data = np.arange(16, dtype=np.float32)
+        mem = env.buffer(data.nbytes, host=data)
+        policy = RetryPolicy()
+        hypervisor.install_fault_plan(FaultPlan(seed=5, drop=0.5),
+                                      retry_policy=policy)
+        before = vm.clock.now
+        for _ in range(10):
+            try:
+                env.write(mem, data)
+            except RemotingError:
+                pass
+        runtime = vm.runtimes["opencl"]
+        assert runtime.retries > 0
+        # every retry sat out at least the timeout plus its backoff
+        floor = runtime.retries * (0.0 + policy.base_backoff)
+        assert vm.clock.now - before > floor
+
+    def test_handle_calls_never_retried(self):
+        hypervisor, vm = fresh_stack()
+        env = opened_env(vm)
+        hypervisor.install_fault_plan(FaultPlan(seed=SEED, drop=1.0))
+        with pytest.raises(RemotingError, match="timeout"):
+            env.buffer(64)  # clCreateBuffer returns a fresh handle
+        assert vm.runtimes["opencl"].retries == 0
+
+    def test_exhausted_retries_give_up_structurally(self):
+        hypervisor, vm = fresh_stack()
+        env = opened_env(vm)
+        data = np.arange(4, dtype=np.float32)
+        mem = env.buffer(data.nbytes, host=data)
+        policy = RetryPolicy(max_retries=3)
+        hypervisor.install_fault_plan(FaultPlan(seed=SEED, drop=1.0),
+                                      retry_policy=policy)
+        with pytest.raises(RemotingError, match="timeout"):
+            env.write(mem, data)
+        runtime = vm.runtimes["opencl"]
+        assert runtime.retries == 3
+        assert runtime.giveups == 1
+
+
+class TestWorkerCrash:
+    def make_two_tenant_stack(self):
+        hypervisor = make_hypervisor(apis=("opencl",))
+        plan = FaultPlan(seed=SEED, crash_on_call=4, crash_vm="victim")
+        hypervisor.install_fault_plan(plan)
+        victim = hypervisor.create_vm("victim")
+        bystander = hypervisor.create_vm("bystander")
+        return hypervisor, victim, bystander
+
+    def test_crash_contained_to_one_vm(self):
+        hypervisor, victim, bystander = self.make_two_tenant_stack()
+        peer_env = opened_env(bystander)  # spawn the bystander first
+        with pytest.raises(RemotingError, match="server-lost"):
+            opened_env(victim)
+        # every further victim call keeps failing cleanly...
+        with pytest.raises(RemotingError, match="server-lost"):
+            opened_env(victim)
+        # ...while the bystander's worker never noticed
+        data = np.arange(8, dtype=np.float32)
+        mem = peer_env.buffer(data.nbytes, host=data)
+        peer_env.write(mem, data)
+        assert np.array_equal(peer_env.read(mem, data.nbytes), data)
+        assert ("victim", "opencl") in hypervisor.lost_workers
+        assert ("bystander", "opencl") not in hypervisor.lost_workers
+
+    def test_crashed_worker_handles_invalidated(self):
+        hypervisor = make_hypervisor(apis=("opencl",))
+        victim = hypervisor.create_vm("victim")
+        env = opened_env(victim)  # 4 calls: platform/device/context/queue
+        worker = hypervisor.worker("victim", "opencl")
+        assert len(worker.handles) > 0
+        plan = FaultPlan(seed=SEED, crash_on_call=1, crash_vm="victim")
+        hypervisor.install_fault_plan(plan)
+        with pytest.raises(RemotingError, match="server-lost"):
+            env.buffer(64)
+        assert len(worker.handles) == 0  # table cleared on crash
+
+    def test_restart_brings_vm_back(self):
+        hypervisor, victim, _ = self.make_two_tenant_stack()
+        with pytest.raises(RemotingError, match="server-lost"):
+            opened_env(victim)
+        hypervisor.restart_worker("victim", "opencl")
+        # the plan crashes once; a fresh worker serves a full workload
+        result = BFSWorkload(scale=0.06).run(victim.library("opencl"))
+        assert result.verified
+        assert hypervisor.router.metrics_for("victim").server_lost >= 1
+
+
+class TestBreakerThroughStack:
+    def test_malformed_flood_trips_and_recovers(self):
+        hypervisor, vm = fresh_stack()
+        env = opened_env(vm)
+        router = hypervisor.router
+        now = vm.clock.now
+        for index in range(router.breaker_threshold):
+            router.deliver(b"\xabC\xff\xff\xff\xff", now + index * 1e-6,
+                           source="v1")
+        assert router.breakers["v1"].tripped == 1
+        # the flooding VM's legitimate traffic is rejected while open
+        with pytest.raises(RemotingError, match="circuit open"):
+            env.finish()
+        # after the cooldown the VM is served again
+        vm.clock.advance(router.breaker_cooldown + 1e-3, "idle")
+        env.finish()
+
+    def test_other_vm_unaffected_by_open_breaker(self):
+        hypervisor = make_hypervisor(apis=("opencl",))
+        noisy = hypervisor.create_vm("noisy")
+        quiet = hypervisor.create_vm("quiet")
+        opened_env(noisy)
+        router = hypervisor.router
+        for index in range(router.breaker_threshold):
+            router.deliver(b"junk", noisy.clock.now + index * 1e-6,
+                           source="noisy")
+        assert router.breakers["noisy"].tripped == 1
+        env = opened_env(quiet)
+        data = np.arange(8, dtype=np.float32)
+        mem = env.buffer(data.nbytes, host=data)
+        assert np.array_equal(env.read(mem, data.nbytes), data)
+
+
+class TestChaosHarness:
+    @pytest.mark.parametrize("mode", tuple(MODES) + ("all",))
+    def test_every_mode_contained(self, mode):
+        report = run_chaos(mode=mode, seed=SEED, bystander=False)
+        assert report.contained
+        if not report.completed:
+            # a structured failure names the failing call's error
+            assert report.error
+
+    def test_crash_mode_recovers_and_isolates(self):
+        report = run_chaos(mode="crash", seed=SEED)
+        assert report.contained
+        assert report.server_lost >= 1
+        assert report.recovered_after_restart is True
+        assert report.bystander_verified is True
+
+    def test_delay_mode_completes_late_but_correct(self):
+        report = run_chaos(mode="delay", seed=SEED, bystander=False)
+        assert report.completed and report.verified
+        assert report.injected.get("delay", 0) > 0
+
+    def test_reports_are_deterministic(self):
+        first = run_chaos(mode="all", seed=SEED, bystander=False)
+        second = run_chaos(mode="all", seed=SEED, bystander=False)
+        assert first.injected == second.injected
+        assert first.completed == second.completed
+        assert first.error == second.error
+        assert first.retries == second.retries
+
+    def test_report_formats(self):
+        report = run_chaos(mode="crash", seed=SEED)
+        text = report.format()
+        assert "mode=crash" in text
+        assert "invariant: contained" in text
+
+
+class TestFaultTelemetry:
+    def test_fault_spans_and_retry_metrics(self):
+        from repro.telemetry import MetricsRegistry, Tracer, use
+
+        registry = MetricsRegistry()
+        tracer = Tracer(metrics=registry)
+        hypervisor, vm = fresh_stack()
+        with use(tracer):
+            env = opened_env(vm)
+            data = np.arange(16, dtype=np.float32)
+            mem = env.buffer(data.nbytes, host=data)
+            hypervisor.install_fault_plan(FaultPlan(seed=5, drop=0.5))
+            for _ in range(10):
+                try:
+                    env.write(mem, data)
+                except RemotingError:
+                    pass
+        names = {span.name for span in tracer.spans}
+        assert "fault.drop" in names
+        assert "retry" in names
+        runtime = vm.runtimes["opencl"]
+        registry.absorb_runtime("v1", runtime)
+        registry.absorb_router(hypervisor.router.metrics)
+        entry = registry.vm("v1")
+        assert entry.retries == runtime.retries > 0
+        per_function = entry.functions["clEnqueueWriteBuffer"]
+        assert per_function.retries == runtime.retries
+
+    def test_faulty_transport_costs_delegate(self):
+        hypervisor, vm = fresh_stack()
+        inner = vm.driver.transport
+        wrapped = FaultyTransport(inner, FaultPlan(seed=SEED))
+        for nbytes in (64, 4096, 1 << 20):
+            assert wrapped.send_cost(nbytes) == inner.send_cost(nbytes)
+            assert wrapped.recv_cost(nbytes) == inner.recv_cost(nbytes)
+            assert wrapped.enqueue_cost(nbytes) == inner.enqueue_cost(nbytes)

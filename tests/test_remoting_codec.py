@@ -1,5 +1,8 @@
 """Unit and property tests for the wire codec."""
 
+import struct
+import time
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -165,3 +168,127 @@ class TestStreamFraming:
             codec.feed(stream[i:i + chunk])
             received.extend(codec.messages())
         assert received == commands
+
+
+class TestHostileFrames:
+    """The codec is a trust boundary: every malformation must surface as
+    CodecError, never as a raw library exception (struct.error,
+    RecursionError, MemoryError) that would escape Router.deliver."""
+
+    def full_command(self):
+        return Command(
+            seq=9, vm_id="vm-h", api="cl", function="clDoWork",
+            mode="async",
+            scalars={"i": -3, "f": 2.5, "s": "txt", "n": None, "b": True},
+            handles={"h": 0x1000, "hs": [1, 2], "none": None},
+            in_buffers={"src": bytes(range(48))},
+            out_sizes={"dst": 256},
+            issue_time=1.5,
+        )
+
+    def test_systematically_truncated_command_frames(self):
+        wire = encode_message(self.full_command())
+        for cut in range(len(wire)):
+            with pytest.raises(CodecError):
+                decode_message(wire[:cut])
+
+    def test_systematically_truncated_reply_frames(self):
+        reply = Reply(seq=4, return_value=7,
+                      out_payloads={"dst": b"\x01" * 32},
+                      out_scalars={"count": 3}, new_handles={"h": 0x2000},
+                      callbacks=[[1, [2, 3]]], complete_time=0.25)
+        wire = encode_message(reply)
+        for cut in range(len(wire)):
+            with pytest.raises(CodecError):
+                decode_message(wire[:cut])
+
+    def test_systematic_single_byte_corruption_never_escapes(self):
+        wire = encode_message(self.full_command())
+        for index in range(len(wire)):
+            for flip in (0x01, 0x80, 0xFF):
+                mutated = bytearray(wire)
+                mutated[index] ^= flip
+                try:
+                    message = decode_message(bytes(mutated))
+                except CodecError:
+                    continue
+                # surviving frames must at least be structurally valid
+                assert isinstance(message, (Command, Reply))
+
+    def test_list_count_bomb_rejected_before_looping(self):
+        # u32 count of ~4G with only a handful of payload bytes: the
+        # decoder must reject by remaining-length bound, not iterate
+        body = b"L" + struct.pack(">I", 4_000_000_000) + b"N" * 16
+        start = time.monotonic()
+        with pytest.raises(CodecError):
+            decode_value(body)
+        assert time.monotonic() - start < 0.5
+
+    def test_dict_count_bomb_rejected_before_looping(self):
+        body = b"M" + struct.pack(">I", 4_000_000_000) + b"\x00" * 16
+        start = time.monotonic()
+        with pytest.raises(CodecError):
+            decode_value(body)
+        assert time.monotonic() - start < 0.5
+
+    def test_deep_nesting_is_codec_error_not_recursion_error(self):
+        body = (b"L" + struct.pack(">I", 1)) * 5000 + b"N"
+        frame = b"\xabC" + struct.pack(">I", len(body)) + body
+        with pytest.raises(CodecError):
+            decode_message(frame)
+
+    def test_truncated_dict_key_rejected(self):
+        body = b"M" + struct.pack(">I", 1) + struct.pack(">I", 64) + b"ke"
+        with pytest.raises(CodecError):
+            decode_value(body)
+
+    def test_int_smuggled_as_buffer_rejected(self):
+        # bytes(huge_int) would allocate gigabytes host-side
+        wire_dict = self.full_command().to_wire_dict()
+        wire_dict["inbufs"] = {"src": 2 ** 40}
+        body = encode_value(wire_dict)
+        frame = b"\xabC" + struct.pack(">I", len(body)) + body
+        with pytest.raises(CodecError):
+            decode_message(frame)
+
+    def test_mistyped_command_fields_rejected(self):
+        base = self.full_command().to_wire_dict()
+        hostile = [
+            ("seq", "not-an-int"), ("seq", True),
+            ("vm", 7), ("api", None), ("fn", [1]), ("mode", 0),
+            ("scalars", [1, 2]), ("handles", "x"), ("inbufs", "x"),
+            ("outsz", [3]), ("t", "late"), ("tr", 5), ("tr", [1, 2, 3]),
+        ]
+        for key, value in hostile:
+            wire_dict = dict(base)
+            wire_dict[key] = value
+            body = encode_value(wire_dict)
+            frame = b"\xabC" + struct.pack(">I", len(body)) + body
+            with pytest.raises(CodecError):
+                decode_message(frame)
+
+    def test_mistyped_out_size_rejected(self):
+        wire_dict = self.full_command().to_wire_dict()
+        wire_dict["outsz"] = {"dst": "big"}
+        body = encode_value(wire_dict)
+        frame = b"\xabC" + struct.pack(">I", len(body)) + body
+        with pytest.raises(CodecError):
+            decode_message(frame)
+
+    def test_non_dict_message_body_rejected(self):
+        body = encode_value([1, 2, 3])
+        frame = b"\xabC" + struct.pack(">I", len(body)) + body
+        with pytest.raises(CodecError):
+            decode_message(frame)
+
+    def test_mistyped_reply_fields_rejected(self):
+        base = Reply(seq=1, return_value=0).to_wire_dict()
+        for key, value in [("seq", None), ("outs", [1]), ("oscal", 3),
+                           ("new", "x"), ("err", 17), ("t", None),
+                           ("outs", {"d": 2 ** 40})]:
+            wire_dict = dict(base)
+            wire_dict[key] = value
+            body = encode_value(wire_dict)
+            frame = b"\xabR" + struct.pack(">I", len(body)) + body
+            with pytest.raises(CodecError):
+                decode_message(frame)

@@ -204,6 +204,216 @@ class TestRouterTracing:
         assert router.metrics_for("vm1").resources["bus_bytes"] == 4096
 
 
+class TestErrorReplySeqEcho:
+    """Every verification rejection echoes the command's seq.
+
+    A reply with seq=-1 is only legitimate when the frame was too
+    damaged to recover a sequence number at all; any decodable command
+    must get its own seq back, or the guest cannot match the failure to
+    the call that caused it.
+    """
+
+    SEQ = 777
+
+    def _reply(self, router, command):
+        command.seq = self.SEQ
+        return send(router, command)
+
+    def test_unknown_vm_echoes_seq(self, setup):
+        router, _ = setup
+        reply = self._reply(router, make_command(vm="intruder"))
+        assert "unknown VM" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_unknown_api_echoes_seq(self, setup):
+        router, _ = setup
+        command = make_command()
+        command.api = "nope"
+        reply = self._reply(router, command)
+        assert "unknown API" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_unrouted_function_echoes_seq(self, setup):
+        router, _ = setup
+        reply = self._reply(router, make_command(function="sneaky"))
+        assert "does not route" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_oversized_payload_echoes_seq(self, setup):
+        router, _ = setup
+        router.max_payload_bytes = 10
+        reply = self._reply(router,
+                            make_command(in_buffers={"d": b"x" * 100}))
+        assert "exceeds router limit" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_bad_out_size_echoes_seq(self, setup):
+        router, _ = setup
+        reply = self._reply(router, make_command(out_sizes={"p": -5}))
+        assert "bad out-size" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_oversized_out_buffer_echoes_seq(self, setup):
+        router, _ = setup
+        router.max_payload_bytes = 100
+        reply = self._reply(router, make_command(out_sizes={"p": 10_000}))
+        assert "exceeds router limit" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_quota_rejection_echoes_seq(self):
+        spec = parse_spec(
+            "api(testapi);\n"
+            "int copyData(int dst, size_t nbytes) "
+            "{ consumes(bus_bytes, nbytes); }"
+        )
+        policy = ResourcePolicy()
+        policy.set_policy("vm1",
+                          VMPolicy(resource_limits={"bus_bytes": 1}))
+        router = Router(lambda vm, api: StubWorker(), policy=policy)
+        router.register_api(RoutingTable.from_spec(spec))
+        router.register_vm("vm1")
+        command = make_command(function="copyData",
+                               scalars={"dst": 1, "nbytes": 4096})
+        command.seq = self.SEQ
+        reply = send(router, command)
+        assert "quota exhausted" in reply.error
+        assert reply.seq == self.SEQ
+
+    def test_undecodable_frame_gets_minus_one(self, setup):
+        router, _ = setup
+        reply = decode_message(router.deliver(b"garbage", 0.0))
+        assert reply.seq == -1  # no seq recoverable from garbage
+
+
+class TestUnknownVmAccounting:
+    def test_unknown_vms_share_one_bounded_counter(self, setup):
+        router, _ = setup
+        before = set(router.metrics)
+        for index in range(200):
+            send(router, make_command(vm=f"intruder-{index}"))
+        # untrusted vm_id bytes must not grow the metrics table
+        assert set(router.metrics) == before
+        assert router.unknown_rejections == 200
+
+    def test_known_vm_rejections_still_per_vm(self, setup):
+        router, _ = setup
+        send(router, make_command(function="sneaky"))
+        assert router.metrics_for("vm1").rejected == 1
+        assert router.unknown_rejections == 0
+
+
+class TestCircuitBreaker:
+    """Breaker decisions key on the transport-attested ``source``."""
+
+    def flood(self, router, times, start=0.0, step=1e-5,
+              source="vm1"):
+        for index in range(times):
+            router.deliver(b"garbage", start + index * step, source=source)
+
+    def send_from(self, router, command, arrival, source):
+        return decode_message(
+            router.deliver(encode_message(command), arrival, source=source)
+        )
+
+    def test_flood_trips_breaker(self, setup):
+        router, worker = setup
+        self.flood(router, router.breaker_threshold)
+        assert router.breakers["vm1"].tripped == 1
+        # even a well-formed command is rejected while the breaker is open
+        arrival = router.breaker_threshold * 1e-5
+        reply = self.send_from(router, make_command(), arrival, "vm1")
+        assert "circuit open" in reply.error
+        assert not worker.executed
+
+    def test_breaker_closes_after_cooldown(self, setup):
+        router, worker = setup
+        self.flood(router, router.breaker_threshold)
+        reopen = (router.breaker_threshold * 1e-5
+                  + router.breaker_cooldown + 1e-6)
+        reply = self.send_from(router, make_command(), reopen, "vm1")
+        assert reply.error is None
+        assert len(worker.executed) == 1
+
+    def test_strikes_outside_window_do_not_trip(self, setup):
+        router, _ = setup
+        self.flood(router, router.breaker_threshold,
+                   step=router.breaker_window * 2)
+        assert router.breakers["vm1"].tripped == 0
+
+    def test_other_sources_unaffected(self, setup):
+        router, worker = setup
+        router.register_vm("vm2")
+        self.flood(router, router.breaker_threshold, source="vm1")
+        command = make_command(vm="vm2")
+        reply = self.send_from(router, command,
+                               router.breaker_threshold * 1e-5, "vm2")
+        assert reply.error is None
+        assert len(worker.executed) == 1
+
+    def test_unattributed_frames_never_open_a_breaker(self, setup):
+        router, _ = setup
+        for index in range(50):
+            router.deliver(b"garbage", index * 1e-6)  # no source
+        assert router.breakers == {}
+        assert router.malformed_frames == 50
+
+
+class TestWorkerCrashContainment:
+    def test_crash_becomes_server_lost_reply(self):
+        from repro.faults.errors import WorkerCrashed
+
+        class DyingWorker:
+            def execute(self, command, release):
+                raise WorkerCrashed("boom")
+
+        lost = []
+        router = Router(lambda vm, api: DyingWorker(),
+                        on_worker_lost=lambda *args: lost.append(args))
+        table = RoutingTable(api="testapi")
+        table.functions["doWork"] = RoutingInfo(name="doWork")
+        router.register_api(table)
+        router.register_vm("vm1")
+        command = make_command()
+        command.seq = 42
+        reply = send(router, command)
+        assert "server-lost" in reply.error
+        assert reply.seq == 42
+        assert lost == [("vm1", "testapi", "boom")]
+        assert router.metrics_for("vm1").server_lost == 1
+
+    def test_lost_resolver_becomes_server_lost_reply(self):
+        from repro.faults.errors import WorkerLost
+
+        def resolver(vm, api):
+            raise WorkerLost("awaiting restart")
+
+        router = Router(resolver)
+        table = RoutingTable(api="testapi")
+        table.functions["doWork"] = RoutingInfo(name="doWork")
+        router.register_api(table)
+        router.register_vm("vm1")
+        reply = send(router, make_command())
+        assert "server-lost" in reply.error
+        assert "awaiting restart" in reply.error
+
+
+class TestReplyEncodeGuard:
+    def test_unencodable_reply_becomes_error_reply(self, setup):
+        router, worker = setup
+
+        class Opaque:
+            pass
+
+        def execute(command, release):
+            return Reply(seq=command.seq, return_value=Opaque(),
+                         complete_time=release)
+
+        worker.execute = execute
+        reply = send(router, make_command())
+        assert "reply encoding failed" in reply.error
+        assert reply.seq == 1
+
+
 class TestRoutingTableFromSpec:
     def test_functions_and_records(self):
         spec = parse_spec(

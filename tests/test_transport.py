@@ -15,7 +15,7 @@ class EchoRouter:
     def __init__(self):
         self.delivered = []
 
-    def deliver(self, wire, arrival):
+    def deliver(self, wire, arrival, source=None):
         command = decode_message(wire)
         self.delivered.append((command, arrival))
         return encode_message(
@@ -135,7 +135,7 @@ class TestAbstractBase:
 
     def test_non_reply_result_rejected(self):
         class BadRouter:
-            def deliver(self, wire, arrival):
+            def deliver(self, wire, arrival, source=None):
                 return encode_message(make_command())
 
         transport = InProcTransport(BadRouter())
