@@ -1,0 +1,49 @@
+"""Deep static analysis over CAvA specs and the stack they generate.
+
+Three layers behind ``cava lint`` (see docs/linting.md):
+
+* :mod:`repro.analysis.dataflow` — per-call expression/buffer dataflow
+  (``CAVA1xx``),
+* :mod:`repro.analysis.lifecycle` — whole-API handle-lifecycle abstract
+  interpretation (``CAVA2xx``),
+* :mod:`repro.analysis.genast` — AST verification of the generated
+  guest/server/routing modules (``CAVA3xx``).
+
+Findings carry stable codes and can be suppressed, with a mandatory
+justification, through ``.lint`` files
+(:mod:`repro.analysis.suppressions`).
+"""
+
+from repro.analysis.diagnostics import (
+    CODE_TABLE,
+    Diagnostic,
+    LintReport,
+    Severity,
+)
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.genast import analyze_generated
+from repro.analysis.lifecycle import analyze_lifecycle, collect_handle_facts
+from repro.analysis.lint import lint_path, lint_spec
+from repro.analysis.suppressions import (
+    SuppressionFile,
+    apply_suppressions,
+    parse_suppression_file,
+    parse_suppressions,
+)
+
+__all__ = [
+    "CODE_TABLE",
+    "Diagnostic",
+    "LintReport",
+    "Severity",
+    "SuppressionFile",
+    "analyze_dataflow",
+    "analyze_generated",
+    "analyze_lifecycle",
+    "apply_suppressions",
+    "collect_handle_facts",
+    "lint_path",
+    "lint_spec",
+    "parse_suppression_file",
+    "parse_suppressions",
+]

@@ -1,0 +1,421 @@
+"""Layer 3 — AST verification of the generated stack (CAVA3xx).
+
+The other layers judge the *specification*; this one judges CAvA's own
+output.  It generates the guest library, server dispatch, and routing
+table in memory, parses them with :mod:`ast`, and mechanically checks
+invariants the generated code must satisfy regardless of which spec
+produced it:
+
+* the order in which the guest stub encodes marshaled parameters equals
+  the order the server stub decodes them (protocol agreement, CAVA301),
+* every handle parameter flows through the worker's handle translation
+  (``lookup_optional`` / ``lookup_list`` in, ``bind`` out, CAVA302),
+* an unconditionally-async stub never registers a reply-dependent
+  output outside a caller-opt-in guard (CAVA303),
+* every generated ``raise`` is a typed remoting error and every
+  generated ``except`` re-raises (CAVA304),
+* every wire-bound buffer size passes through a generated size
+  assertion (CAVA305),
+* guest ``FUNCTIONS``, server ``DISPATCH`` and the routing table agree
+  on the function set (CAVA306),
+* a reply shrink reads ``.value`` only from a local constructed as an
+  out-scalar box (CAVA307).
+
+Because the checks run on source text, tests can also feed tampered
+sources to prove each invariant actually bites — the checker is the
+regression net under every future codegen change.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.codegen.classify import ParamClass, classify_param, classify_return
+from repro.codegen.generator import GeneratedSources, generate_sources
+from repro.spec.model import ApiSpec
+
+#: guest-side marshaling dicts whose stores define the encode order
+_ENCODE_DICTS = {"_scalars", "_handles", "_in_buffers", "_out_sizes"}
+
+#: exception types generated code may raise
+_TYPED_ERRORS = {"RemotingError"}
+
+
+@dataclass
+class _GuestStub:
+    name: str
+    encode_order: List[str] = field(default_factory=list)
+    const_mode: Optional[str] = None
+    #: (dict_name, param, inside_none_guard) for reply-output registration
+    out_stores: List[Tuple[str, str, bool]] = field(default_factory=list)
+    size_asserted: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class _ServerStub:
+    name: str
+    decode_order: List[str] = field(default_factory=list)
+    #: param → source text of its (first) decode assignment
+    decode_sources: Dict[str, str] = field(default_factory=dict)
+    collect_source: str = ""
+    bind_slots: Set[str] = field(default_factory=set)
+
+
+def _const_str(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _is_none_guard(test: ast.AST) -> bool:
+    """``<name> is not None`` (the caller-opt-in guard codegen emits)."""
+    return (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+def _calls_in(node: ast.AST) -> List[ast.Call]:
+    return [n for n in ast.walk(node) if isinstance(n, ast.Call)]
+
+
+def _scan_guest_function(fn: ast.FunctionDef) -> _GuestStub:
+    stub = _GuestStub(name=fn.name)
+    seen: Set[str] = set()
+
+    def visit(node: ast.AST, guarded: bool) -> None:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if (isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)):
+                dict_name = target.value.id
+                key = _const_str(target.slice)
+                if key is not None:
+                    if dict_name in _ENCODE_DICTS and key not in seen:
+                        seen.add(key)
+                        stub.encode_order.append(key)
+                    if dict_name in ("_out_sizes", "_out_targets"):
+                        stub.out_stores.append((dict_name, key, guarded))
+            elif isinstance(target, ast.Name) and target.id == "_mode":
+                stub.const_mode = _const_str(node.value)
+        if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
+            call = node.value
+            if (isinstance(call.func, ast.Name)
+                    and call.func.id == "_assert_size"
+                    and len(call.args) >= 2):
+                param = _const_str(call.args[1])
+                if param is not None:
+                    stub.size_asserted.add(param)
+        if isinstance(node, ast.If):
+            inner = guarded or _is_none_guard(node.test)
+            for child in node.body:
+                visit(child, inner)
+            for child in node.orelse:
+                visit(child, guarded)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, guarded)
+
+    for statement in fn.body:
+        visit(statement, False)
+    return stub
+
+
+def _scan_server_function(fn: ast.FunctionDef, api_func: str) -> _ServerStub:
+    stub = _ServerStub(name=api_func)
+    seen: Set[str] = set()
+    before_native = True
+    collect_nodes: List[ast.AST] = []
+
+    def is_native_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+            and isinstance(node.value.func, ast.Attribute)
+            and isinstance(node.value.func.value, ast.Name)
+            and node.value.func.value.id == "_native"
+        )
+
+    def record_decode(node: ast.AST) -> None:
+        for sub in ast.walk(node):
+            if (isinstance(sub, ast.Assign) and len(sub.targets) == 1
+                    and isinstance(sub.targets[0], ast.Name)):
+                name = sub.targets[0].id
+                if not name.startswith("_") and name not in seen:
+                    seen.add(name)
+                    stub.decode_order.append(name)
+                    stub.decode_sources[name] = ast.unparse(sub.value)
+
+    def scan_body(statements: List[ast.stmt]) -> None:
+        nonlocal before_native
+        for statement in statements:
+            if isinstance(statement, ast.Try):
+                scan_body(statement.body)
+                continue
+            if is_native_call(statement):
+                before_native = False
+                continue
+            if before_native:
+                record_decode(statement)
+            else:
+                collect_nodes.append(statement)
+
+    scan_body(fn.body)
+    for node in collect_nodes:
+        stub.collect_source += ast.unparse(node) + "\n"
+        for call in _calls_in(node):
+            if (isinstance(call.func, ast.Attribute)
+                    and call.func.attr == "bind" and call.args):
+                slot = _const_str(call.args[0])
+                if slot is not None:
+                    stub.bind_slots.add(slot)
+    return stub
+
+
+def _module_function_sets(
+    guest_tree: ast.Module, server_tree: ast.Module, routing_tree: ast.Module
+) -> Tuple[Set[str], Set[str], Set[str]]:
+    guest_set: Set[str] = set()
+    for node in guest_tree.body:
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "FUNCTIONS"
+                and isinstance(node.value, ast.List)):
+            guest_set = {
+                element.value for element in node.value.elts
+                if isinstance(element, ast.Constant)
+            }
+    server_set: Set[str] = set()
+    for node in server_tree.body:
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "DISPATCH"
+                and isinstance(node.value, ast.Dict)):
+            server_set = {
+                _const_str(key) for key in node.value.keys
+            } - {None}
+    routing_set: Set[str] = set()
+    for node in ast.walk(routing_tree):
+        if (isinstance(node, ast.Assign)
+                and isinstance(node.targets[0], ast.Subscript)
+                and isinstance(node.targets[0].value, ast.Attribute)
+                and node.targets[0].value.attr == "functions"):
+            name = _const_str(node.targets[0].slice)
+            if name is not None:
+                routing_set.add(name)
+    return guest_set, server_set, routing_set
+
+
+def _check_raises(tree: ast.Module, which: str) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Raise):
+            if node.exc is None:
+                continue  # bare re-raise inside a handler is the good case
+            call = node.exc
+            fname = None
+            if isinstance(call, ast.Call) and isinstance(call.func, ast.Name):
+                fname = call.func.id
+            elif isinstance(call, ast.Name):
+                fname = call.id
+            if fname not in _TYPED_ERRORS:
+                diags.append(Diagnostic(
+                    "CAVA304", which,
+                    f"generated {which} module raises {fname or 'a computed'}"
+                    f" exception; remoting failures must surface as one of "
+                    f"{sorted(_TYPED_ERRORS)}",
+                ))
+        if isinstance(node, ast.ExceptHandler):
+            if not any(isinstance(sub, ast.Raise)
+                       for sub in ast.walk(node)):
+                diags.append(Diagnostic(
+                    "CAVA304", which,
+                    f"generated {which} module contains an except handler "
+                    f"that swallows the error without re-raising",
+                ))
+    return diags
+
+
+#: wire classes whose guest stub must assert the computed size
+_SIZE_ASSERTED = {
+    ParamClass.BUFFER_IN, ParamClass.BUFFER_OUT, ParamClass.BUFFER_INOUT,
+    ParamClass.HANDLE_ARRAY_OUT,
+}
+
+
+def analyze_generated(
+    spec: ApiSpec,
+    native_module: str = "repro.analysis.native_placeholder",
+    sources: Optional[GeneratedSources] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """Generate (or accept) the stack sources and verify their ASTs."""
+    if sources is None:
+        sources = generate_sources(spec, native_module)
+    diags: List[Diagnostic] = []
+    checks = 0
+
+    guest_tree = ast.parse(sources.guest_source)
+    server_tree = ast.parse(sources.server_source)
+    routing_tree = ast.parse(sources.routing_source)
+
+    guest_stubs: Dict[str, _GuestStub] = {}
+    for node in ast.walk(guest_tree):
+        if isinstance(node, ast.ClassDef) and node.name == "GuestLibrary":
+            for item in node.body:
+                if (isinstance(item, ast.FunctionDef)
+                        and not item.name.startswith("_")):
+                    guest_stubs[item.name] = _scan_guest_function(item)
+
+    server_stubs: Dict[str, _ServerStub] = {}
+    for node in server_tree.body:
+        if isinstance(node, ast.FunctionDef) and node.name.startswith("_srv_"):
+            api_func = node.name[len("_srv_"):]
+            server_stubs[api_func] = _scan_server_function(node, api_func)
+
+    supported = [
+        name for name in sorted(spec.functions)
+        if not spec.functions[name].unsupported
+    ]
+
+    # -- CAVA306: the three modules must agree on the function set -------
+    guest_set, server_set, routing_set = _module_function_sets(
+        guest_tree, server_tree, routing_tree)
+    expected = set(supported)
+    for which, got in (("guest FUNCTIONS", guest_set),
+                       ("server DISPATCH", server_set),
+                       ("routing table", routing_set)):
+        checks += 1
+        if got != expected:
+            missing = sorted(expected - got)
+            extra = sorted(got - expected)
+            detail = []
+            if missing:
+                detail.append(f"missing {missing}")
+            if extra:
+                detail.append(f"unexpected {extra}")
+            diags.append(Diagnostic(
+                "CAVA306", spec.name,
+                f"{which} drifts from the specification: "
+                + "; ".join(detail),
+            ))
+
+    for fname in supported:
+        func = spec.functions[fname]
+        guest = guest_stubs.get(fname)
+        server = server_stubs.get(fname)
+        if guest is None or server is None:
+            continue  # CAVA306 already reported the drift
+
+        # -- CAVA301: encode order must embed into decode order ----------
+        checks += 1
+        decode_index = {name: i for i, name in
+                        enumerate(server.decode_order)}
+        missing = [p for p in guest.encode_order if p not in decode_index]
+        if missing:
+            diags.append(Diagnostic(
+                "CAVA301", fname,
+                f"guest encodes {missing} but the server stub never "
+                f"decodes them",
+            ))
+        else:
+            projected = [name for name in server.decode_order
+                         if name in set(guest.encode_order)]
+            if projected != guest.encode_order:
+                diags.append(Diagnostic(
+                    "CAVA301", fname,
+                    f"guest encode order {guest.encode_order} != server "
+                    f"decode order {projected}",
+                ))
+
+        # -- CAVA302: handle translation on every handle slot ------------
+        for param in func.params:
+            cls = classify_param(spec, param)
+            source = server.decode_sources.get(param.name, "")
+            if cls is ParamClass.HANDLE:
+                checks += 1
+                if "worker.lookup_optional" not in source:
+                    diags.append(Diagnostic(
+                        "CAVA302", f"{fname}.{param.name}",
+                        f"handle parameter {param.name!r} is not "
+                        f"translated through worker.lookup_optional "
+                        f"(decoded as: {source or '<missing>'})",
+                    ))
+            elif cls is ParamClass.HANDLE_ARRAY_IN:
+                checks += 1
+                if "worker.lookup_list" not in source:
+                    diags.append(Diagnostic(
+                        "CAVA302", f"{fname}.{param.name}",
+                        f"handle array {param.name!r} is not translated "
+                        f"through worker.lookup_list "
+                        f"(decoded as: {source or '<missing>'})",
+                    ))
+            elif cls in (ParamClass.HANDLE_BOX_OUT,
+                         ParamClass.HANDLE_ARRAY_OUT):
+                checks += 1
+                if param.name not in server.bind_slots:
+                    diags.append(Diagnostic(
+                        "CAVA302", f"{fname}.{param.name}",
+                        f"freshly produced handle(s) in {param.name!r} "
+                        f"are never bound into the worker's translation "
+                        f"table",
+                    ))
+        if classify_return(spec, func) == "handle":
+            checks += 1
+            if "__ret__" not in server.bind_slots:
+                diags.append(Diagnostic(
+                    "CAVA302", fname,
+                    "returned handle is never bound into the worker's "
+                    "translation table",
+                ))
+
+        # -- CAVA303: async stubs and reply-dependent outputs ------------
+        if guest.const_mode == "async":
+            checks += 1
+            for dict_name, param, guarded in guest.out_stores:
+                if not guarded:
+                    diags.append(Diagnostic(
+                        "CAVA303", f"{fname}.{param}",
+                        f"unconditionally-async stub registers "
+                        f"{dict_name}[{param!r}] outside a caller-opt-in "
+                        f"None-guard; the reply payload it requests is "
+                        f"never applied synchronously",
+                    ))
+
+        # -- CAVA305: generated size assertions --------------------------
+        for param in func.params:
+            if classify_param(spec, param) in _SIZE_ASSERTED:
+                checks += 1
+                if param.name not in guest.size_asserted:
+                    diags.append(Diagnostic(
+                        "CAVA305", f"{fname}.{param.name}",
+                        f"buffer {param.name!r} reaches the wire without "
+                        f"a generated _assert_size guard",
+                    ))
+
+        # -- CAVA307: shrink targets must be out-scalar boxes ------------
+        for param in func.params:
+            if param.shrinks_to is None:
+                continue
+            checks += 1
+            target_source = server.decode_sources.get(param.shrinks_to, "")
+            if "OutBox()" not in target_source:
+                diags.append(Diagnostic(
+                    "CAVA307", f"{fname}.{param.name}",
+                    f"reply shrink of {param.name!r} reads "
+                    f"{param.shrinks_to!r}.value, but the server stub "
+                    f"materializes {param.shrinks_to!r} as "
+                    f"`{target_source or '<missing>'}`, not an OutBox",
+                ))
+
+    # -- CAVA304: typed error discipline everywhere ----------------------
+    checks += 3
+    diags.extend(_check_raises(guest_tree, "guest"))
+    diags.extend(_check_raises(server_tree, "server"))
+    diags.extend(_check_raises(routing_tree, "routing"))
+    return diags, checks

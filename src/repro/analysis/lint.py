@@ -1,0 +1,93 @@
+"""Orchestration for ``cava lint`` — run all analysis layers on a spec.
+
+:func:`lint_spec` is the library entry point (tests and tooling);
+:func:`lint_path` adds the file-system conventions the CLI uses — the
+default suppression file is ``<spec basename>.lint`` next to the spec,
+and the native-module import line is looked up from the shipped-stack
+registry when the API is a known one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.analysis.dataflow import analyze_dataflow
+from repro.analysis.diagnostics import Diagnostic, LintReport
+from repro.analysis.genast import analyze_generated
+from repro.analysis.lifecycle import analyze_lifecycle
+from repro.analysis.suppressions import (
+    SuppressionFile,
+    apply_suppressions,
+    parse_suppression_file,
+)
+from repro.spec.errors import SpecError
+from repro.spec.model import ApiSpec
+from repro.spec.parser import parse_spec_file
+
+#: placeholder import path used when the spec's native module is unknown;
+#: layer 3 parses the generated source, it never imports it
+_PLACEHOLDER_NATIVE = "repro.analysis.native_placeholder"
+
+
+def lint_spec(
+    spec: ApiSpec,
+    spec_path: Optional[str] = None,
+    native_module: Optional[str] = None,
+    suppressions: Optional[SuppressionFile] = None,
+) -> LintReport:
+    """Run dataflow, lifecycle, and generated-AST analysis over ``spec``."""
+    report = LintReport(api=spec.name, spec_path=spec_path)
+
+    problems = spec.validate()
+    report.extend("dataflow", [
+        Diagnostic("CAVA100", spec.name, problem) for problem in problems
+    ], passed=0 if problems else 1)
+
+    diags, checks = analyze_dataflow(spec)
+    report.extend("dataflow", diags, passed=checks)
+
+    diags, checks = analyze_lifecycle(spec)
+    report.extend("lifecycle", diags, passed=checks)
+
+    if not problems:
+        # generation requires a semantically valid spec; CAVA100 already
+        # covers the invalid case
+        diags, checks = analyze_generated(
+            spec, native_module or _PLACEHOLDER_NATIVE)
+        report.extend("genast", diags, passed=checks)
+
+    apply_suppressions(report, suppressions)
+    return report
+
+
+def default_suppression_path(spec_path: str) -> str:
+    base, _ext = os.path.splitext(spec_path)
+    return base + ".lint"
+
+
+def lint_path(
+    spec_path: str,
+    native_module: Optional[str] = None,
+    suppress_path: Optional[str] = None,
+) -> LintReport:
+    """Parse ``spec_path`` and lint it with the CLI's conventions."""
+    spec = parse_spec_file(spec_path)
+
+    if native_module is None:
+        try:
+            from repro.stack import NATIVE_MODULES
+            native_module = NATIVE_MODULES.get(spec.name)
+        except ImportError:  # pragma: no cover - stack always importable
+            native_module = None
+
+    suppressions: Optional[SuppressionFile] = None
+    candidate = suppress_path or default_suppression_path(spec_path)
+    if os.path.isfile(candidate):
+        suppressions = parse_suppression_file(candidate)
+    elif suppress_path is not None:
+        raise SpecError(f"suppression file not found: {suppress_path}")
+
+    return lint_spec(spec, spec_path=spec_path,
+                     native_module=native_module,
+                     suppressions=suppressions)

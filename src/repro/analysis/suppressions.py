@@ -1,0 +1,126 @@
+"""Suppression files for ``cava lint``.
+
+A true positive the team has consciously decided to live with is
+silenced by an entry in a ``.lint`` file next to the spec (or any file
+passed via ``--suppress``).  The format is line-based and diff-friendly::
+
+    # comments and blank lines are ignored
+    CAVA202 cl_event: the mini-API omits clReleaseEvent; events are
+    CAVA105 cpaDcCompressData.dst: aliasing rejected at runtime by ...
+
+Each entry is ``<CODE> <subject>: <justification>``.  The justification
+is *required* — an entry without one is itself a lint error (CAVA001),
+because a suppression nobody can explain is a suppressed bug.  The
+subject must match the diagnostic's subject exactly, or be ``*`` to
+cover every subject for that code.  Entries that match nothing are
+reported (CAVA002) so stale suppressions cannot mask future findings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.analysis.diagnostics import CODE_TABLE, Diagnostic, LintReport
+
+#: a justification must actually justify; single-word notes don't
+_MIN_JUSTIFICATION = 10
+
+
+@dataclass
+class Suppression:
+    code: str
+    subject: str
+    justification: str
+    path: str
+    line: int
+    used: bool = False
+
+    def matches(self, diag: Diagnostic) -> bool:
+        if self.code != diag.code:
+            return False
+        return self.subject == "*" or self.subject == diag.subject
+
+
+@dataclass
+class SuppressionFile:
+    path: str
+    entries: List[Suppression] = field(default_factory=list)
+    problems: List[Diagnostic] = field(default_factory=list)
+
+
+def parse_suppression_file(path: str) -> SuppressionFile:
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse_suppressions(handle.read(), path)
+
+
+def parse_suppressions(text: str, path: str = "<suppressions>"
+                       ) -> SuppressionFile:
+    result = SuppressionFile(path=path)
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        head, sep, justification = line.partition(":")
+        parts = head.split()
+        where = f"{path}:{lineno}"
+        if len(parts) != 2 or not sep:
+            result.problems.append(Diagnostic(
+                "CAVA001", where,
+                f"malformed suppression {line!r}; expected "
+                f"'<CODE> <subject>: <justification>'",
+                layer="meta",
+            ))
+            continue
+        code, subject = parts
+        if code not in CODE_TABLE:
+            result.problems.append(Diagnostic(
+                "CAVA001", where,
+                f"suppression names unknown diagnostic code {code!r}",
+                layer="meta",
+            ))
+            continue
+        justification = justification.strip()
+        if len(justification) < _MIN_JUSTIFICATION:
+            result.problems.append(Diagnostic(
+                "CAVA001", where,
+                f"suppression for {code} {subject} has no meaningful "
+                f"justification (need ≥{_MIN_JUSTIFICATION} characters "
+                f"explaining why the finding is acceptable)",
+                layer="meta",
+            ))
+            continue
+        result.entries.append(Suppression(
+            code=code, subject=subject, justification=justification,
+            path=path, line=lineno,
+        ))
+    return result
+
+
+def apply_suppressions(report: LintReport,
+                       suppressions: Optional[SuppressionFile]) -> None:
+    """Move matched diagnostics into ``report.suppressed`` in place."""
+    if suppressions is None:
+        return
+    report.extend("meta", list(suppressions.problems),
+                  passed=len(suppressions.entries))
+    remaining: List[Diagnostic] = []
+    kept: List[Tuple[Diagnostic, str]] = []
+    for diag in report.diagnostics:
+        entry = next(
+            (e for e in suppressions.entries if e.matches(diag)), None)
+        if entry is not None and diag.layer != "meta":
+            entry.used = True
+            kept.append((diag, entry.justification))
+        else:
+            remaining.append(diag)
+    report.diagnostics = remaining
+    report.suppressed.extend(kept)
+    for entry in suppressions.entries:
+        if not entry.used:
+            report.extend("meta", [Diagnostic(
+                "CAVA002", f"{entry.path}:{entry.line}",
+                f"suppression {entry.code} {entry.subject} matched no "
+                f"diagnostic; delete it so it cannot mask a future one",
+                layer="meta",
+            )])

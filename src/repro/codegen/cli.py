@@ -81,7 +81,32 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     spec = parse_spec_file(args.spec)
     report = verify_spec(spec)
     print(format_report(report, verbose=args.verbose))
-    return 0 if report.ok else 1
+    if not report.ok:
+        return 1
+    if args.strict and report.warnings:
+        return 1
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import lint_path
+
+    reports = [
+        lint_path(spec, suppress_path=args.suppress)
+        for spec in args.specs
+    ]
+    if args.json:
+        if len(reports) == 1:
+            print(reports[0].to_json())
+        else:
+            print(json.dumps(
+                [json.loads(r.to_json()) for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format(verbose=args.verbose))
+    return 0 if all(r.gate(args.fail_on) for r in reports) else 1
 
 
 def _cmd_effort(args: argparse.Namespace) -> int:
@@ -175,7 +200,28 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("spec")
     verify.add_argument("-v", "--verbose", action="store_true",
                         help="list established properties per function")
+    verify.add_argument("--strict", action="store_true",
+                        help="exit non-zero on warnings, not just errors")
     verify.set_defaults(func=_cmd_verify)
+
+    lint = sub.add_parser(
+        "lint",
+        help="deep static analysis: dataflow, handle lifecycle, and "
+             "generated-code AST invariants (docs/linting.md)",
+    )
+    lint.add_argument("specs", nargs="+", metavar="spec",
+                      help="one or more .cava files")
+    lint.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    lint.add_argument("--fail-on", choices=["error", "warning"],
+                      default="error",
+                      help="severity threshold gating the exit code")
+    lint.add_argument("--suppress", default=None,
+                      help="suppression file (default: <spec>.lint "
+                           "next to each spec, if present)")
+    lint.add_argument("-v", "--verbose", action="store_true",
+                      help="also list suppressed findings")
+    lint.set_defaults(func=_cmd_lint)
 
     effort = sub.add_parser(
         "effort", help="developer-effort metrics for a shipped API (§5)"

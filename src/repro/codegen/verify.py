@@ -117,10 +117,11 @@ def verify_spec(spec: ApiSpec) -> VerificationReport:
         else:
             report._record(name, "synchronous: outputs always returned")
 
-        opaque = [
+        # sorted so multi-parameter warnings are stable and diffable in CI
+        opaque = sorted(
             p.name for p in func.params
             if classify_param(spec, p) is ParamClass.OPAQUE
-        ]
+        )
         if opaque:
             report.warnings.append(
                 f"{name}: parameter(s) {opaque} are not marshalable; the "
