@@ -8,30 +8,22 @@ measured overhead on identical simulated hardware.
 
 import math
 
+from conftest import FULLVIRT_WORKLOADS as WORKLOADS
 from repro.fullvirt import TrapModel, estimate_fullvirt, summarize
 from repro.harness.runner import run_native_opencl, run_virtualized
-from repro.stack import make_hypervisor
-from repro.workloads import (
-    BFSWorkload,
-    GaussianWorkload,
-    KMeansWorkload,
-    LavaMDWorkload,
-    NWWorkload,
-)
-
-WORKLOADS = [BFSWorkload, GaussianWorkload, KMeansWorkload, LavaMDWorkload,
-             NWWorkload]
+from repro.stack import VirtualStack
+from repro.workloads import GaussianWorkload
 
 
 def measure():
     estimates = {}
     for cls in WORKLOADS:
         workload = cls()
-        hv = make_hypervisor(apis=("opencl",))
+        stack = VirtualStack.build("opencl")
         native = run_native_opencl(workload)
-        ava = run_virtualized(workload, hypervisor=hv,
+        ava = run_virtualized(workload, hypervisor=stack.hypervisor,
                               vm_id=f"fv-{workload.name}")
-        payload = hv.router.metrics_for(
+        payload = stack.router.metrics_for(
             f"fv-{workload.name}").payload_bytes
         estimates[workload.name] = estimate_fullvirt(
             native, ava, payload, TrapModel()
@@ -67,10 +59,11 @@ def test_fullvirt_orders_of_magnitude(once):
 def test_trap_sensitivity(once):
     """Even a 4x cheaper trap leaves full-virt far behind AvA."""
     workload = GaussianWorkload()
-    hv = make_hypervisor(apis=("opencl",))
+    stack = VirtualStack.build("opencl")
     native = run_native_opencl(workload)
-    ava = run_virtualized(workload, hypervisor=hv, vm_id="fv-sens")
-    payload = hv.router.metrics_for("fv-sens").payload_bytes
+    ava = run_virtualized(workload, hypervisor=stack.hypervisor,
+                          vm_id="fv-sens")
+    payload = stack.router.metrics_for("fv-sens").payload_bytes
 
     def sweep():
         rows = []

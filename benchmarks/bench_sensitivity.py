@@ -10,16 +10,10 @@ remoting stops being near-native, which is the design space the paper's
 
 import statistics
 
-from repro.harness.runner import run_native_opencl, run_virtualized
-from repro.stack import make_hypervisor
-from repro.workloads import (
-    BFSWorkload,
-    GaussianWorkload,
-    KMeansWorkload,
-    NWWorkload,
-)
+from conftest import SENSITIVITY_WORKLOADS as WORKLOADS
+from repro.harness.runner import run_native_opencl
+from repro.stack import VirtualStack
 
-WORKLOADS = [BFSWorkload, GaussianWorkload, KMeansWorkload, NWWorkload]
 MULTIPLIERS = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
 BASE_LATENCY = 1.8e-6
 BASE_ENQUEUE = 0.15e-6
@@ -34,15 +28,15 @@ def sweep():
     for multiplier in MULTIPLIERS:
         ratios = {}
         for name, (workload, native) in natives.items():
-            hv = make_hypervisor(apis=("opencl",))
-            vm = hv.create_vm(
+            stack = VirtualStack.build("opencl")
+            session = stack.add_vm(
                 f"vm-{multiplier}-{name}",
                 latency=BASE_LATENCY * multiplier,
                 enqueue_overhead=BASE_ENQUEUE * multiplier,
             )
-            result = workload.run(vm.library("opencl"))
+            result = workload.run(session.lib)
             assert result.verified
-            ratios[name] = vm.clock.now / native.runtime
+            ratios[name] = session.time / native.runtime
         rows.append((multiplier, ratios))
     return rows
 
@@ -81,10 +75,10 @@ def test_byte_cost_matters_for_copy_heavy(once):
     native = run_native_opencl(workload)
 
     def run(byte_cost):
-        hv = make_hypervisor(apis=("opencl",))
-        vm = hv.create_vm(f"vm-bc-{byte_cost}", byte_cost=byte_cost)
-        assert workload.run(vm.library("opencl")).verified
-        return vm.clock.now / native.runtime
+        stack = VirtualStack.build("opencl")
+        session = stack.add_vm(f"vm-bc-{byte_cost}", byte_cost=byte_cost)
+        assert workload.run(session.lib).verified
+        return session.time / native.runtime
 
     cheap = run(0.002e-9)
     nominal = run(0.008e-9)

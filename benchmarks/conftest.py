@@ -12,6 +12,30 @@ import os
 
 import pytest
 
+from repro.workloads import (
+    BFSWorkload,
+    GaussianWorkload,
+    HotspotWorkload,
+    KMeansWorkload,
+    LavaMDWorkload,
+    NWWorkload,
+    PathfinderWorkload,
+    SradWorkload,
+)
+
+#: launch-dense suites with deep async pipelines — the workloads the
+#: async-forwarding and coalescing benches measure
+ASYNC_HEAVY_WORKLOADS = [GaussianWorkload, HotspotWorkload, NWWorkload,
+                         PathfinderWorkload, SradWorkload]
+
+#: the mixed suite the full-virtualization comparison prices
+FULLVIRT_WORKLOADS = [BFSWorkload, GaussianWorkload, KMeansWorkload,
+                      LavaMDWorkload, NWWorkload]
+
+#: the compact suite the cost-model sensitivity sweeps re-run
+SENSITIVITY_WORKLOADS = [BFSWorkload, GaussianWorkload, KMeansWorkload,
+                         NWWorkload]
+
 
 @pytest.fixture()
 def bench_json():

@@ -159,12 +159,12 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
         seed = int(os.environ.get("CAVA_CHAOS_SEED", "1234"))
     if args.mode == "each":
         reports = run_all_modes(seed=seed, workload=args.workload,
-                                scale=args.scale)
+                                scale=args.scale, batching=args.batching)
         for report in reports.values():
             print(report.format())
         return 0 if all(r.contained for r in reports.values()) else 1
     report = run_chaos(mode=args.mode, seed=seed, workload=args.workload,
-                       scale=args.scale)
+                       scale=args.scale, batching=args.batching)
     print(report.format())
     return 0 if report.contained else 1
 
@@ -259,6 +259,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "or 1234)")
     chaos.add_argument("--workload", default="bfs",
                        help="OpenCL workload name (default: bfs)")
+    chaos.add_argument("--batching", action="store_true",
+                       help="coalesce the victim VM's async commands "
+                            "into batched wire frames")
     chaos.add_argument("--scale", type=float, default=0.06,
                        help="workload scale factor")
     chaos.set_defaults(func=_cmd_chaos)

@@ -109,14 +109,18 @@ def run_chaos(
     workload: str = "bfs",
     scale: float = 0.06,
     bystander: bool = True,
+    batching: bool = False,
 ) -> ChaosReport:
     """Run one workload through a fully armed fault plan.
 
     ``mode`` is one of :data:`~repro.faults.plan.MODES` or ``"all"``;
     ``workload`` names any OpenCL workload (``bfs``, ``gaussian``...).
-    Raises only if the failure-path invariant is broken — structured
-    failures are part of a normal report.
+    ``batching`` coalesces the victim VM's async commands into batched
+    wire frames, so every fault mode also exercises the atomic
+    whole-frame failure path.  Raises only if the failure-path invariant
+    is broken — structured failures are part of a normal report.
     """
+    from repro.guest.batching import BatchPolicy
     from repro.guest.library import RemotingError
     from repro.stack import make_hypervisor
     from repro.workloads import OPENCL_WORKLOADS
@@ -132,13 +136,15 @@ def run_chaos(
     hypervisor = make_hypervisor(apis=("opencl",))
     plan = FaultPlan.for_mode(mode, seed=seed)
     hypervisor.install_fault_plan(plan)
-    victim = hypervisor.create_vm("chaos-vm")
+    batch_policy = BatchPolicy() if batching else None
+    victim = hypervisor.create_vm("chaos-vm", batch_policy=batch_policy)
     observer = hypervisor.create_vm("bystander-vm") if bystander else None
 
     completed = verified = False
     error: Optional[str] = None
     try:
         result = workload_cls(scale=scale).run(victim.library("opencl"))
+        victim.flush()
         completed, verified = True, result.verified
     except (RemotingError, WorkloadError) as err:
         error = str(err)
@@ -187,10 +193,11 @@ def run_chaos(
 
 
 def run_all_modes(seed: int = 1234, workload: str = "bfs",
-                  scale: float = 0.06) -> Dict[str, ChaosReport]:
+                  scale: float = 0.06,
+                  batching: bool = False) -> Dict[str, ChaosReport]:
     """One report per fault mode plus the mixed ``all`` preset."""
     return {
         mode: run_chaos(mode=mode, seed=seed, workload=workload,
-                        scale=scale)
+                        scale=scale, batching=batching)
         for mode in tuple(MODES) + ("all",)
     }

@@ -25,12 +25,18 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict
 
 from repro.faults.plan import FaultPlan
-from repro.remoting.codec import Reply, decode_message, encode_message
+from repro.remoting.codec import Reply, ReplyBatch, decode_message, \
+    encode_message
 from repro.telemetry import tracer as _tele
-from repro.transport.base import DeliveryResult, Transport, TransportError
+from repro.transport.base import (
+    BatchDeliveryResult,
+    DeliveryResult,
+    Transport,
+    TransportError,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.remoting.codec import Command
+    from repro.remoting.codec import Command, CommandBatch
 
 
 class FaultyTransport(Transport):
@@ -52,6 +58,9 @@ class FaultyTransport(Transport):
 
     def enqueue_cost(self, nbytes: int) -> float:
         return self.inner.enqueue_cost(nbytes)
+
+    def flush_cost(self, nbytes: int, count: int) -> float:
+        return self.inner.flush_cost(nbytes, count)
 
     def span_attrs(self, nbytes: int) -> Dict[str, Any]:
         return self.inner.span_attrs(nbytes)
@@ -162,3 +171,109 @@ class FaultyTransport(Transport):
             completed_at=completed_at,
             reply_cost=self.recv_cost(len(reply_wire)),
         )
+
+    def deliver_batch(self, batch: "CommandBatch",
+                      guest_now: float) -> BatchDeliveryResult:
+        """Deliver a coalesced frame; faults hit the *whole* frame.
+
+        The batch is one frame on the wire, so a drop/corrupt/delay/
+        duplicate decision applies to it atomically: a dropped batch
+        loses every inner command (and times out as one unit the guest
+        may retransmit); a duplicated batch re-executes every inner
+        command — the at-least-once hazard, batched.
+        """
+        plan = self.plan
+        wire = encode_message(batch)
+        self.tx_bytes += len(wire)
+        self.messages += 1
+        sent_at = guest_now + self.flush_cost(len(wire), len(batch))
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "transport.flush", guest_now, sent_at,
+                layer="transport",
+                vm_id=batch.vm_id, function="<batch>",
+                transport=self.name, wire_bytes=len(wire),
+                commands=len(batch), submit="batch",
+                **self.span_attrs(len(wire)),
+            )
+        # the plan records batch faults against a stand-in frame identity
+        # (the first inner command's seq, a synthetic function name)
+        frame = _BatchFrame(batch)
+
+        def failure(why: str) -> BatchDeliveryResult:
+            return BatchDeliveryResult(
+                sent_at=sent_at,
+                completed_at=sent_at + plan.timeout,
+                timed_out=True,
+                error=(f"transport: timeout after "
+                       f"{plan.timeout * 1e6:.0f}us ({why})"),
+            )
+
+        decision = plan.decide_command(frame)
+        if decision.delay:
+            plan.record("delay", "command", frame, sent_at)
+            self._trace_fault("delay", "command", frame, sent_at)
+            sent_at += decision.delay
+        if decision.drop:
+            plan.record("drop", "command", frame, sent_at)
+            self._trace_fault("drop", "command", frame, sent_at)
+            return failure("batch frame dropped")
+
+        deliver_wire = wire
+        if decision.corrupt:
+            deliver_wire = plan.corrupt_bytes(wire)
+            plan.record("corrupt", "command", frame, sent_at)
+            self._trace_fault("corrupt", "command", frame, sent_at)
+        if decision.duplicate:
+            plan.record("duplicate", "command", frame, sent_at)
+            self._trace_fault("duplicate", "command", frame, sent_at)
+            self.router.deliver(bytes(deliver_wire), sent_at,
+                                source=batch.vm_id)
+
+        reply_wire = self.router.deliver(bytes(deliver_wire), sent_at,
+                                         source=batch.vm_id)
+        decoded = decode_message(reply_wire)
+        self.rx_bytes += len(reply_wire)
+
+        if decision.corrupt:
+            # the router detected the damage and rejected the whole
+            # frame — no inner command executed, retransmission is safe
+            return failure("batch frame corrupted in flight")
+
+        if isinstance(decoded, Reply):
+            return BatchDeliveryResult(
+                replies=[], sent_at=sent_at,
+                completed_at=decoded.complete_time,
+                error=decoded.error or "router returned an empty reply",
+            )
+        if not isinstance(decoded, ReplyBatch):
+            raise TransportError("router returned a non-reply message")
+
+        completed_at = decoded.complete_time
+        reply_decision = plan.decide_reply(frame)
+        if reply_decision.drop:
+            # every inner command *did* execute; only the answer is gone
+            plan.record("drop", "reply", frame, completed_at)
+            self._trace_fault("drop", "reply", frame, completed_at)
+            return failure("reply batch dropped")
+        if reply_decision.delay:
+            plan.record("delay", "reply", frame, completed_at)
+            self._trace_fault("delay", "reply", frame, completed_at)
+            completed_at += reply_decision.delay
+
+        return BatchDeliveryResult(
+            replies=decoded.replies, sent_at=sent_at,
+            completed_at=completed_at,
+        )
+
+
+class _BatchFrame:
+    """Command-shaped identity of a whole batch frame for fault logs."""
+
+    def __init__(self, batch: "CommandBatch") -> None:
+        self.vm_id = batch.vm_id
+        self.function = f"<batch:{len(batch)}>"
+        self.seq = batch.commands[0].seq if batch.commands else -1
+        self.api = batch.commands[0].api if batch.commands else ""
+        self.span_id = None

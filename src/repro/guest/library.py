@@ -15,11 +15,13 @@ CAvA); this runtime supplies the API-agnostic machinery:
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.guest.batching import BatchPolicy
 from repro.guest.driver import GuestDriver
 from repro.remoting.buffers import OutBox, read_bytes, write_back
-from repro.remoting.codec import Command, Reply
+from repro.remoting.codec import Command, CommandBatch, Reply
 from repro.telemetry import tracer as _tele
 
 
@@ -33,6 +35,17 @@ class RemotingError(Exception):
     """
 
 
+@dataclass
+class _StagedCall:
+    """One async command parked in the coalescing queue."""
+
+    command: Command
+    function: str
+    out_targets: Dict[str, Tuple[str, Any]]
+    success: Any
+    retry_safe: bool
+
+
 class GuestRuntime:
     """Per-VM, per-API invocation runtime."""
 
@@ -43,6 +56,7 @@ class GuestRuntime:
         marshal_call_cost: float = 0.6e-6,
         marshal_byte_cost: float = 0.002e-9,
         retry_policy: Optional[Any] = None,
+        batch_policy: Optional[BatchPolicy] = None,
     ) -> None:
         self.driver = driver
         self.api_name = api_name
@@ -51,6 +65,9 @@ class GuestRuntime:
         #: RetryPolicy for transport timeouts; None disables retries
         #: (the default, so the fault-free path is cost-identical)
         self.retry_policy = retry_policy
+        #: BatchPolicy for async coalescing; None (or enabled=False)
+        #: keeps the per-call async path bit-identical
+        self.batch_policy = batch_policy
         #: deferred error from an earlier async call (delivered later)
         self.pending_async_error: Optional[float] = None
         #: guest callback registry: id → callable (§4.2 callbacks)
@@ -62,6 +79,12 @@ class GuestRuntime:
         #: transport-failure recovery counters
         self.retries = 0
         self.giveups = 0
+        #: coalescing queue state and counters
+        self._queue: List[_StagedCall] = []
+        self._queued_bytes = 0
+        self.batches_flushed = 0
+        self.commands_coalesced = 0
+        self._callback_armed = False
 
     @property
     def clock(self):
@@ -133,6 +156,9 @@ class GuestRuntime:
                 f"callback parameter expects a callable, got "
                 f"{type(fn).__name__}"
             )
+        # a callback-bearing call must see its reply leg: flag the next
+        # submission so a staged version flushes immediately
+        self._callback_armed = True
         for cb_id, existing in self._callbacks.items():
             if existing is fn:
                 return cb_id
@@ -217,6 +243,15 @@ class GuestRuntime:
         span: Any,
     ) -> Any:
         clock = self.driver.clock
+        # did marshaling this call register a guest callback?  (stubs
+        # call register_callback immediately before submit)
+        wants_callback = self._callback_armed
+        self._callback_armed = False
+        if self._queue and mode == "sync":
+            # synchronization point: queued async work crosses the
+            # channel ahead of the blocking call, preserving program
+            # order and the deferred-error contract
+            self._flush("sync")
         payload = sum(len(chunk) for chunk in in_buffers.values())
         marshal_start = clock.now
         clock.advance(
@@ -247,6 +282,13 @@ class GuestRuntime:
                 "marshal", marshal_start, clock.now,
                 layer="guest", bytes=payload,
             )
+        if (mode == "async" and self.batch_policy is not None
+                and self.batch_policy.enabled):
+            self.calls_async += 1
+            self._stage(command, function, out_targets, ret_kind,
+                        success, wants_callback, payload, tracer, span)
+            return success
+
         result = self.driver.transport.deliver(
             command, clock.now, asynchronous=(mode == "async")
         )
@@ -306,6 +348,121 @@ class GuestRuntime:
             if value == success:
                 return deferred
         return value
+
+    # -- async command coalescing -------------------------------------------------
+
+    def _stage(
+        self,
+        command: Command,
+        function: str,
+        out_targets: Dict[str, Tuple[str, Any]],
+        ret_kind: str,
+        success: Any,
+        wants_callback: bool,
+        payload: int,
+        tracer: Any,
+        span: Any,
+    ) -> None:
+        """Park an async command in the coalescing queue.
+
+        The call returns its success value to the guest immediately (as
+        any async call does); the command crosses the channel at the
+        next flush, as part of one batched wire frame.
+        """
+        policy = self.batch_policy
+        clock = self.driver.clock
+        # re-execution after a lost batch must not mint handles the
+        # guest would leak — same idempotence rule as sync retries
+        retry_safe = (ret_kind != "handle" and not any(
+            kind in ("handle_box", "handle_array")
+            for kind, _target in out_targets.values()))
+        queue_start = clock.now
+        clock.advance(policy.queue_cost, "transport")
+        if span is not None:
+            tracer.record_span(
+                "batch.queue", queue_start, clock.now, layer="guest",
+                queued=len(self._queue) + 1, bytes=payload,
+            )
+        self._queue.append(_StagedCall(command, function, out_targets,
+                                       success, retry_safe))
+        self._queued_bytes += payload
+        needs_reply = wants_callback or any(
+            target is not None for _kind, target in out_targets.values())
+        if needs_reply:
+            # outputs/callbacks must land by the time the guest could
+            # observe them: take the reply leg now
+            self._flush("reply-leg")
+        elif (len(self._queue) >= policy.max_commands
+              or self._queued_bytes >= policy.max_bytes):
+            self._flush("threshold")
+
+    def flush(self, reason: str = "explicit") -> None:
+        """Flush any queued async commands as one coalesced frame."""
+        if self._queue:
+            self._flush(reason)
+
+    def _flush(self, reason: str) -> None:
+        clock = self.driver.clock
+        staged, self._queue = self._queue, []
+        payload_bytes, self._queued_bytes = self._queued_bytes, 0
+        batch = CommandBatch(
+            vm_id=self.driver.vm_id,
+            commands=[entry.command for entry in staged],
+            flush_time=clock.now,
+        )
+        flush_start = clock.now
+        result = self.driver.transport.deliver_batch(batch, clock.now)
+        if (result.timed_out and self.retry_policy is not None
+                and all(entry.retry_safe for entry in staged)):
+            result = self._retry_batch(batch, result, clock)
+        clock.advance_to(result.sent_at, "transport")
+        self.batches_flushed += 1
+        self.commands_coalesced += len(staged)
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "batch.flush", flush_start, clock.now, layer="guest",
+                vm_id=self.driver.vm_id, api=self.api_name,
+                function="<batch>", commands=len(staged), reason=reason,
+                payload_bytes=payload_bytes, timed_out=result.timed_out,
+            )
+        if result.failed or len(result.replies) != len(staged):
+            # the whole frame (or its reply) was lost or rejected: every
+            # staged call failed, surfacing on the next sync call (§4.2)
+            if self.pending_async_error is None:
+                self.pending_async_error = -1001.0
+            return
+        for entry, reply in zip(staged, result.replies):
+            self._note_async_outcome(reply, entry.success)
+            if reply.error is None:
+                self._apply_outputs(reply, entry.out_targets,
+                                    entry.function)
+                self._deliver_callbacks(reply, entry.function)
+
+    def _retry_batch(self, batch: CommandBatch, result: Any,
+                     clock: Any) -> Any:
+        """Retransmit a timed-out all-idempotent batch with backoff."""
+        policy = self.retry_policy
+        tracer = _tele.active()
+        for attempt in range(policy.max_retries):
+            if not result.timed_out:
+                return result
+            backoff = policy.backoff_for(attempt)
+            clock.advance_to(result.completed_at, "retry")
+            backoff_start = clock.now
+            clock.advance(backoff, "retry")
+            self.retries += 1
+            if tracer.enabled:
+                tracer.record_span(
+                    "retry", backoff_start, clock.now, layer="guest",
+                    attempt=attempt + 1,
+                    seq=batch.commands[0].seq if batch.commands else -1,
+                    backoff=backoff, cause=result.error,
+                )
+            result = self.driver.transport.deliver_batch(batch, clock.now)
+        if result.timed_out:
+            self.giveups += 1
+        return result
 
     # -- transport-failure recovery ---------------------------------------------
 

@@ -38,6 +38,8 @@ class Measurement:
     accounts: Dict[str, float] = field(default_factory=dict)
     calls_sync: int = 0
     calls_async: int = 0
+    batches_flushed: int = 0
+    commands_coalesced: int = 0
 
 
 def run_native_opencl(workload: Any,
@@ -73,26 +75,34 @@ def run_virtualized(
     vm_id: str = "vm-bench",
     transport: str = "inproc",
     tracer: Optional[Any] = None,
+    batch_policy: Optional[Any] = None,
 ) -> Measurement:
     """Run a workload inside a guest VM through the full AvA stack.
 
     Pass a :class:`repro.telemetry.Tracer` to record the run's spans;
-    the default keeps the zero-cost no-op tracer installed.
+    the default keeps the zero-cost no-op tracer installed.  Pass a
+    :class:`repro.guest.batching.BatchPolicy` to coalesce the VM's async
+    commands into batched wire frames (None = per-call async).
     """
     hv = hypervisor or make_hypervisor(apis=(api_name,))
-    vm = hv.create_vm(vm_id, transport=transport)
+    vm = hv.create_vm(vm_id, transport=transport,
+                      batch_policy=batch_policy)
     library = vm.library(api_name)
     if tracer is not None:
         with _tele.use(tracer):
             result = workload.run(library)
+            vm.flush()
     else:
         result = workload.run(library)
+        vm.flush()
     runtime = vm.runtimes[api_name]
     return Measurement(
         name=workload.name, mode="ava", runtime=vm.clock.now,
         verified=result.verified, detail=result.detail,
         accounts=vm.clock.accounts(),
         calls_sync=runtime.calls_sync, calls_async=runtime.calls_async,
+        batches_flushed=runtime.batches_flushed,
+        commands_coalesced=runtime.commands_coalesced,
     )
 
 

@@ -54,8 +54,11 @@ class ApiRegistration:
 class Hypervisor:
     """The host: router + VMs + API server workers."""
 
-    def __init__(self, policy: Optional[ResourcePolicy] = None) -> None:
+    def __init__(self, policy: Optional[ResourcePolicy] = None,
+                 batch_policy: Optional[Any] = None) -> None:
         self.policy = policy or ResourcePolicy()
+        #: default async-coalescing policy for new VMs (None = per-call)
+        self.batch_policy = batch_policy
         self.rate_limiter = RateLimiter(self.policy)
         self.router = Router(self._worker_for, rate_limiter=self.rate_limiter,
                              policy=self.policy,
@@ -102,6 +105,7 @@ class Hypervisor:
         self._retry_policy = policy
 
     def create_vm(self, vm_id: str, transport: str = "inproc",
+                  batch_policy: Optional[Any] = None,
                   **transport_kwargs: Any) -> GuestVM:
         if vm_id in self.vms:
             raise ValueError(f"VM {vm_id!r} already exists")
@@ -114,7 +118,9 @@ class Hypervisor:
         channel: Transport = transport_cls(self.router, **transport_kwargs)
         if self.fault_plan is not None:
             channel = FaultyTransport(channel, self.fault_plan)
-        vm = GuestVM(vm_id, channel)
+        if batch_policy is None:
+            batch_policy = self.batch_policy
+        vm = GuestVM(vm_id, channel, batch_policy=batch_policy)
         if self._retry_policy is not None:
             vm.set_retry_policy(self._retry_policy)
         self.vms[vm_id] = vm

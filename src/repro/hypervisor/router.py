@@ -21,7 +21,9 @@ from repro.faults.errors import WorkerCrashed, WorkerLost
 from repro.remoting.codec import (
     CodecError,
     Command,
+    CommandBatch,
     Reply,
+    ReplyBatch,
     decode_message,
     encode_message,
 )
@@ -118,6 +120,7 @@ class Router:
         breaker_threshold: int = 8,
         breaker_window: float = 1e-3,
         breaker_cooldown: float = 5e-3,
+        max_batch_commands: int = 4096,
     ) -> None:
         self.worker_resolver = worker_resolver
         self.rate_limiter = rate_limiter
@@ -131,6 +134,11 @@ class Router:
         self.breaker_threshold = breaker_threshold
         self.breaker_window = breaker_window
         self.breaker_cooldown = breaker_cooldown
+        #: inner-command bound per coalesced frame: guests have no
+        #: business flushing larger batches, and unbundling is O(count)
+        self.max_batch_commands = max_batch_commands
+        #: batches rejected wholesale for exceeding that bound
+        self.oversized_batches = 0
         self.tables: Dict[str, RoutingTable] = {}
         self.metrics: Dict[str, VMMetrics] = {}
         self.known_vms: set = set()
@@ -261,9 +269,13 @@ class Router:
 
     def deliver(self, wire: bytes, arrival: float,
                 source: Optional[str] = None) -> bytes:
-        """Verify, schedule and dispatch one encoded command; returns the
+        """Verify, schedule and dispatch one encoded frame; returns the
         encoded reply.  Verification failures produce error replies (the
         guest sees a failed call, the host is untouched).
+
+        A frame carries either one :class:`Command` (answered with one
+        :class:`Reply`) or one :class:`CommandBatch` (unbundled and
+        answered with one :class:`ReplyBatch`).
 
         ``source`` is the transport-attested VM id of the sending
         channel (not a decoded field — the frame may not decode at
@@ -279,7 +291,7 @@ class Router:
                       complete_time=arrival)
             )
         try:
-            command = decode_message(wire)
+            message = decode_message(wire)
         except CodecError as err:
             self.malformed_frames += 1
             self._strike(source, arrival)
@@ -287,13 +299,81 @@ class Router:
                 Reply(seq=-1, error=f"router: malformed command ({err})",
                       complete_time=arrival)
             )
-        if not isinstance(command, Command):
+        if isinstance(message, CommandBatch):
+            return self._deliver_batch(message, arrival, source)
+        if not isinstance(message, Command):
             self.malformed_frames += 1
             self._strike(source, arrival)
             return encode_message(
                 Reply(seq=-1, error="router: expected a command",
                       complete_time=arrival)
             )
+        reply = self._route(message, arrival)
+        try:
+            return encode_message(reply)
+        except CodecError as err:
+            # a reply the wire can't carry must not take the router down
+            return encode_message(
+                Reply(seq=message.seq,
+                      error=f"router: reply encoding failed ({err})",
+                      complete_time=reply.complete_time)
+            )
+
+    def _deliver_batch(self, batch: CommandBatch, arrival: float,
+                       source: Optional[str]) -> bytes:
+        """Unbundle one coalesced frame: route every inner command, in
+        order, through the ordinary verification/policy/dispatch path,
+        and answer with a single :class:`ReplyBatch`.
+
+        Each inner command is verified, rate-limited, and accounted
+        individually under the existing per-VM policy — coalescing
+        changes how commands cross the channel, never what the
+        hypervisor enforces.  In-order execution is preserved by
+        releasing each command no earlier than its predecessor
+        completed.
+        """
+        if len(batch.commands) > self.max_batch_commands:
+            self.oversized_batches += 1
+            if source in self.known_vms:
+                self.metrics_for(source).rejected += 1
+            return encode_message(
+                Reply(seq=-1,
+                      error=(f"router: batch of {len(batch.commands)} "
+                             f"commands exceeds limit "
+                             f"{self.max_batch_commands}"),
+                      complete_time=arrival)
+            )
+        tracer = _tele.active()
+        replies = []
+        at = arrival
+        for index, command in enumerate(batch.commands):
+            # the frame is received (and the worker woken) once: inner
+            # commands after the first pay the cheaper batched dispatch
+            reply = self._route(command, at, batched=index > 0)
+            replies.append(reply)
+            # program order within the VM: the next command is released
+            # no earlier than this one completed
+            at = max(at, reply.complete_time)
+        if tracer.enabled:
+            tracer.record_span(
+                "router.batch", arrival, at, layer="router",
+                vm_id=batch.vm_id, function="<batch>",
+                commands=len(batch.commands),
+                errors=sum(1 for r in replies if r.error is not None),
+            )
+        result = ReplyBatch(replies=replies, complete_time=at)
+        try:
+            return encode_message(result)
+        except CodecError as err:
+            return encode_message(
+                Reply(seq=-1,
+                      error=f"router: reply encoding failed ({err})",
+                      complete_time=at)
+            )
+
+    def _route(self, command: Command, arrival: float,
+               batched: bool = False) -> Reply:
+        """Verify, schedule and dispatch one decoded command."""
         tracer = _tele.active()
         try:
             info = self._verify(command)
@@ -312,10 +392,8 @@ class Router:
                     api=command.api, function=command.function,
                     rejected=str(err),
                 )
-            return encode_message(
-                Reply(seq=command.seq, error=f"router: {err}",
-                      complete_time=arrival)
-            )
+            return Reply(seq=command.seq, error=f"router: {err}",
+                         complete_time=arrival)
 
         estimates = self._estimate(command, info, self.tables[command.api])
         exhausted = self._check_quota(command.vm_id, estimates)
@@ -329,12 +407,10 @@ class Router:
                     api=command.api, function=command.function,
                     rejected=f"quota exhausted: {exhausted}",
                 )
-            return encode_message(
-                Reply(seq=command.seq,
-                      error=f"router: resource quota exhausted for "
-                            f"{exhausted!r}",
-                      complete_time=arrival)
-            )
+            return Reply(seq=command.seq,
+                         error=f"router: resource quota exhausted for "
+                               f"{exhausted!r}",
+                         complete_time=arrival)
 
         verified_at = arrival + self.interposition_cost
         release = verified_at
@@ -371,14 +447,16 @@ class Router:
         except WorkerLost as err:
             return self._server_lost_reply(command, release, str(err))
         if worker is None:
-            return encode_message(
-                Reply(seq=command.seq,
-                      error=f"router: no API server for VM "
-                            f"{command.vm_id!r} API {command.api!r}",
-                      complete_time=release)
-            )
+            return Reply(seq=command.seq,
+                         error=f"router: no API server for VM "
+                               f"{command.vm_id!r} API {command.api!r}",
+                         complete_time=release)
         try:
-            reply = worker.execute(command, release)
+            # plain positional call on the per-command path keeps worker
+            # doubles with the historical execute() signature working
+            if batched:
+                return worker.execute(command, release, batched=True)
+            return worker.execute(command, release)
         except WorkerCrashed as err:
             # the worker process died mid-call: tear it down (the
             # hypervisor invalidates its handle table) and answer with a
@@ -386,18 +464,9 @@ class Router:
             if self.on_worker_lost is not None:
                 self.on_worker_lost(command.vm_id, command.api, str(err))
             return self._server_lost_reply(command, release, str(err))
-        try:
-            return encode_message(reply)
-        except CodecError as err:
-            # a reply the wire can't carry must not take the router down
-            return encode_message(
-                Reply(seq=command.seq,
-                      error=f"router: reply encoding failed ({err})",
-                      complete_time=reply.complete_time)
-            )
 
     def _server_lost_reply(self, command: Command, release: float,
-                           reason: str) -> bytes:
+                           reason: str) -> Reply:
         entry = self.metrics_for(command.vm_id)
         entry.server_lost += 1
         tracer = _tele.active()
@@ -408,8 +477,6 @@ class Router:
                 api=command.api, function=command.function,
                 reason=reason,
             )
-        return encode_message(
-            Reply(seq=command.seq,
-                  error=f"router: server-lost ({reason})",
-                  complete_time=release)
-        )
+        return Reply(seq=command.seq,
+                     error=f"router: server-lost ({reason})",
+                     complete_time=release)

@@ -367,19 +367,124 @@ class Reply:
             raise CodecError(f"reply missing field {missing}") from None
 
 
+@dataclass
+class CommandBatch:
+    """A coalesced frame of asynchronous commands, guest → host.
+
+    The guest runtime queues async :class:`Command`\\ s between
+    synchronization points and flushes them as *one* wire frame (one
+    transport delivery, one doorbell).  The batch carries no semantics
+    of its own: the router unbundles it and routes every inner command
+    through the ordinary verification/policy path, in order.
+    """
+
+    vm_id: str
+    commands: List[Command] = field(default_factory=list)
+    #: guest virtual time at which the batch was flushed
+    flush_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.commands)
+
+    def payload_bytes(self) -> int:
+        """Bytes of bulk payload carried guest → host, summed."""
+        return sum(command.payload_bytes() for command in self.commands)
+
+    def to_wire_dict(self) -> Dict[str, Any]:
+        return {
+            "vm": self.vm_id,
+            "cmds": [command.to_wire_dict() for command in self.commands],
+            "t": self.flush_time,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: Dict[str, Any]) -> "CommandBatch":
+        try:
+            vm_id = _checked(data["vm"], str, "batch vm")
+            entries = _checked(data["cmds"], list, "batch cmds")
+            flush_time = _checked(data["t"], (int, float), "batch t")
+        except KeyError as missing:
+            raise CodecError(f"batch missing field {missing}") from None
+        if not entries:
+            raise CodecError("batch carries no commands")
+        commands: List[Command] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise CodecError(
+                    f"batch command #{index} has wire type "
+                    f"{type(entry).__name__}"
+                )
+            commands.append(Command.from_wire_dict(entry))
+        return cls(vm_id=vm_id, commands=commands, flush_time=flush_time)
+
+
+@dataclass
+class ReplyBatch:
+    """The host's answer to one :class:`CommandBatch`.
+
+    Carries exactly one :class:`Reply` per inner command, in command
+    order, so the guest runtime can apply outputs and record deferred
+    async errors positionally.
+    """
+
+    replies: List[Reply] = field(default_factory=list)
+    #: host virtual time at which the last inner command completed
+    complete_time: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.replies)
+
+    def payload_bytes(self) -> int:
+        """Bytes of bulk payload carried host → guest, summed."""
+        return sum(reply.payload_bytes() for reply in self.replies)
+
+    def to_wire_dict(self) -> Dict[str, Any]:
+        return {
+            "replies": [reply.to_wire_dict() for reply in self.replies],
+            "t": self.complete_time,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: Dict[str, Any]) -> "ReplyBatch":
+        try:
+            entries = _checked(data["replies"], list, "reply-batch replies")
+            complete_time = _checked(data["t"], (int, float),
+                                     "reply-batch t")
+        except KeyError as missing:
+            raise CodecError(f"reply batch missing field {missing}") from None
+        replies: List[Reply] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, dict):
+                raise CodecError(
+                    f"reply-batch reply #{index} has wire type "
+                    f"{type(entry).__name__}"
+                )
+            replies.append(Reply.from_wire_dict(entry))
+        return cls(replies=replies, complete_time=complete_time)
+
+
 _COMMAND_MAGIC = b"\xabC"
 _REPLY_MAGIC = b"\xabR"
+_COMMAND_BATCH_MAGIC = b"\xabB"
+_REPLY_BATCH_MAGIC = b"\xabP"
+
+_MESSAGE_MAGICS = {
+    Command: _COMMAND_MAGIC,
+    Reply: _REPLY_MAGIC,
+    CommandBatch: _COMMAND_BATCH_MAGIC,
+    ReplyBatch: _REPLY_BATCH_MAGIC,
+}
 
 
 def encode_message(message: Any) -> bytes:
-    """Encode a Command or Reply to self-delimiting wire bytes."""
-    if isinstance(message, Command):
-        body = encode_value(message.to_wire_dict())
-        return _COMMAND_MAGIC + _U32.pack(len(body)) + body
-    if isinstance(message, Reply):
-        body = encode_value(message.to_wire_dict())
-        return _REPLY_MAGIC + _U32.pack(len(body)) + body
-    raise CodecError(f"cannot encode {type(message).__name__} as a message")
+    """Encode a Command/Reply/CommandBatch/ReplyBatch to wire bytes."""
+    magic = _MESSAGE_MAGICS.get(type(message))
+    if magic is None:
+        raise CodecError(
+            f"cannot encode {type(message).__name__} as a message"
+        )
+    body = encode_value(message.to_wire_dict())
+    return magic + _U32.pack(len(body)) + body
 
 
 def decode_message(data: bytes) -> Any:
@@ -404,6 +509,10 @@ def decode_message(data: bytes) -> Any:
             return Command.from_wire_dict(decoded)
         if magic == _REPLY_MAGIC:
             return Reply.from_wire_dict(decoded)
+        if magic == _COMMAND_BATCH_MAGIC:
+            return CommandBatch.from_wire_dict(decoded)
+        if magic == _REPLY_BATCH_MAGIC:
+            return ReplyBatch.from_wire_dict(decoded)
     except (TypeError, AttributeError, ValueError) as err:
         raise CodecError(f"malformed message fields: {err}") from err
     raise CodecError(f"bad message magic {magic!r}")

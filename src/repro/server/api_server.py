@@ -47,6 +47,7 @@ class ApiServerWorker:
         session_factory: Callable[["ApiServerWorker"], ContextManager],
         record_kinds: Optional[Dict[str, RecordKind]] = None,
         dispatch_cost: float = 0.5e-6,
+        batch_dispatch_cost: float = 0.2e-6,
         clock: Optional[VirtualClock] = None,
     ) -> None:
         self.vm_id = vm_id
@@ -55,6 +56,10 @@ class ApiServerWorker:
         self.session_factory = session_factory
         self.record_kinds = record_kinds or {}
         self.dispatch_cost = dispatch_cost
+        #: per-command dispatch for commands 2..N of a coalesced frame:
+        #: the frame receive and worker wakeup were already paid by the
+        #: frame's first command, so only decode+dispatch remain
+        self.batch_dispatch_cost = batch_dispatch_cost
         self.clock = clock or VirtualClock(f"worker-{vm_id}-{api_name}")
         self.handles = HandleTable(vm_id)
         self.recorder = CallRecorder()
@@ -177,8 +182,14 @@ class ApiServerWorker:
         self.crashed = reason
         self.handles.clear()
 
-    def execute(self, command: Command, release_time: float) -> Reply:
-        """Run one verified command; always returns a Reply."""
+    def execute(self, command: Command, release_time: float,
+                batched: bool = False) -> Reply:
+        """Run one verified command; always returns a Reply.
+
+        ``batched`` marks a non-first command of a coalesced frame,
+        which pays :attr:`batch_dispatch_cost` instead of the full
+        :attr:`dispatch_cost` (its frame was already received).
+        """
         if self.crashed is not None:
             return Reply(
                 seq=command.seq,
@@ -214,7 +225,10 @@ class ApiServerWorker:
                 api=self.api_name, function=command.function,
                 seq=command.seq,
             )
-        self.clock.advance(self.dispatch_cost, "dispatch")
+        self.clock.advance(
+            self.batch_dispatch_cost if batched else self.dispatch_cost,
+            "dispatch",
+        )
         try:
             with self.session_factory(self):
                 reply = stub(self, command)

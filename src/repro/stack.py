@@ -13,11 +13,13 @@ from __future__ import annotations
 
 import os
 import tempfile
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.codegen.generator import GeneratedStack, generate_api
+from repro.guest.batching import BatchPolicy
 from repro.hypervisor.hypervisor import ApiRegistration, Hypervisor
 from repro.hypervisor.policy import ResourcePolicy
+from repro.hypervisor.vm import GuestVM
 from repro.mvnc.device import SimulatedNCS
 from repro.opencl.device import SimulatedGPU
 from repro.opencl.runtime import MemoryManager
@@ -85,6 +87,166 @@ def build_stack(api_name: str, out_dir: Optional[str] = None,
     return stack
 
 
+class GuestSession:
+    """A ready-to-call guest: its VM plus the stack that created it.
+
+    This is what :meth:`VirtualStack.add_vm` hands back — the guest
+    application's view of one virtual machine with every registered API
+    already bound.  ``session.lib`` is the single-API convenience;
+    multi-API stacks pick with ``session.library("mvnc")``.
+    """
+
+    def __init__(self, stack: "VirtualStack", vm: GuestVM) -> None:
+        self.stack = stack
+        self.vm = vm
+
+    @property
+    def vm_id(self) -> str:
+        return self.vm.vm_id
+
+    @property
+    def clock(self):
+        return self.vm.clock
+
+    @property
+    def time(self) -> float:
+        return self.vm.clock.now
+
+    @property
+    def lib(self) -> Any:
+        """The bound guest library, when exactly one API is registered."""
+        apis = self.stack.apis
+        if len(apis) != 1:
+            raise ValueError(
+                f"session binds {len(apis)} APIs ({', '.join(apis)}); "
+                f"pick one with session.library(api_name)"
+            )
+        return self.vm.library(apis[0])
+
+    def library(self, api_name: str) -> Any:
+        return self.vm.library(api_name)
+
+    def runtime(self, api_name: Optional[str] = None) -> Any:
+        if api_name is None:
+            apis = self.stack.apis
+            if len(apis) != 1:
+                raise ValueError(
+                    "runtime() needs api_name on a multi-API stack"
+                )
+            api_name = apis[0]
+        return self.vm.runtime(api_name)
+
+    def flush(self) -> None:
+        """Flush queued async commands on every API runtime."""
+        self.vm.flush()
+
+    def shutdown(self) -> None:
+        self.stack.hypervisor.destroy_vm(self.vm_id)
+
+
+class VirtualStack:
+    """One-call assembly of a virtualized accelerator stack.
+
+    ``VirtualStack.build("opencl").add_vm("vm0")`` parses the spec, runs
+    CAvA, registers the generated stack with a fresh hypervisor, creates
+    the VM and binds its guest libraries — returning a ready
+    :class:`GuestSession`.  ``make_hypervisor`` remains as a thin
+    wrapper for callers that want the bare hypervisor.
+    """
+
+    def __init__(self, hypervisor: Hypervisor,
+                 apis: Sequence[str]) -> None:
+        self.hypervisor = hypervisor
+        self.apis: List[str] = list(apis)
+        self.sessions: Dict[str, GuestSession] = {}
+
+    @classmethod
+    def build(
+        cls,
+        *apis: str,
+        policy: Optional[ResourcePolicy] = None,
+        batch_policy: Optional[BatchPolicy] = None,
+        gpu_factory: Optional[Callable[[], SimulatedGPU]] = None,
+        shared_gpus: Optional[List[SimulatedGPU]] = None,
+        ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
+        memory_manager_factory: Optional[
+            Callable[[], MemoryManager]] = None,
+    ) -> "VirtualStack":
+        """Generate and register the requested API stacks.
+
+        ``batch_policy`` becomes the default async-coalescing policy for
+        every VM this stack creates (None = per-call async forwarding,
+        bit-identical to the unbatched path).
+        """
+        if not apis:
+            apis = ("opencl",)
+        hypervisor = Hypervisor(policy=policy, batch_policy=batch_policy)
+        for api_name in apis:
+            stack = build_stack(api_name)
+            if api_name == "opencl":
+                if shared_gpus is not None:
+                    devices_factory = (
+                        lambda: list(shared_gpus))  # noqa: E731
+                else:
+                    factory = gpu_factory or SimulatedGPU
+                    devices_factory = lambda f=factory: [f()]  # noqa: E731
+                binder = opencl_session_binder(
+                    devices_factory, memory_manager_factory
+                )
+            elif api_name == "mvnc":
+                factory = ncs_factory or SimulatedNCS
+                binder = mvnc_session_binder(lambda f=factory: [f()])
+            elif api_name == "qat":
+                from repro.qat.device import SimulatedQAT
+                from repro.server.bindings import qat_session_binder
+
+                binder = qat_session_binder(lambda: [SimulatedQAT()])
+            elif api_name == "tpu":
+                from repro.server.bindings import tpu_session_binder
+                from repro.tpu.device import SimulatedTPU
+
+                binder = tpu_session_binder(lambda: [SimulatedTPU()])
+            else:
+                raise KeyError(f"unknown API {api_name!r}")
+            hypervisor.register_api(
+                ApiRegistration(
+                    name=api_name,
+                    routing_table=stack.routing_table(),
+                    dispatch=stack.dispatch(),
+                    record_kinds=stack.record_kinds(),
+                    guest_module=stack.guest_module,
+                    session_binder=binder,
+                )
+            )
+        return cls(hypervisor, apis)
+
+    def add_vm(self, vm_id: str, transport: str = "inproc",
+               batch_policy: Optional[BatchPolicy] = None,
+               **transport_kwargs: Any) -> GuestSession:
+        """Create a VM on this stack and return its guest session."""
+        vm = self.hypervisor.create_vm(
+            vm_id, transport=transport, batch_policy=batch_policy,
+            **transport_kwargs,
+        )
+        session = GuestSession(self, vm)
+        self.sessions[vm_id] = session
+        return session
+
+    def session(self, vm_id: str) -> GuestSession:
+        return self.sessions[vm_id]
+
+    def install_fault_plan(self, plan: Any,
+                           retry_policy: Optional[Any] = None) -> None:
+        self.hypervisor.install_fault_plan(plan, retry_policy)
+
+    @property
+    def router(self):
+        return self.hypervisor.router
+
+    def admin_report(self) -> Dict[str, Any]:
+        return self.hypervisor.admin_report()
+
+
 def make_hypervisor(
     policy: Optional[ResourcePolicy] = None,
     apis: Sequence[str] = ("opencl",),
@@ -92,49 +254,22 @@ def make_hypervisor(
     shared_gpus: Optional[List[SimulatedGPU]] = None,
     ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
     memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
+    batch_policy: Optional[BatchPolicy] = None,
 ) -> Hypervisor:
     """A hypervisor with the requested generated API stacks registered.
 
-    By default each VM's worker gets a *private* simulated device (the
-    paper's measurement setup: one tenant per accelerator while AvA
-    provides the virtualization plumbing).  Pass ``shared_gpus`` to make
-    all OpenCL workers share devices instead.
+    Thin wrapper over :meth:`VirtualStack.build` for callers that want
+    the bare hypervisor.  By default each VM's worker gets a *private*
+    simulated device (the paper's measurement setup: one tenant per
+    accelerator while AvA provides the virtualization plumbing).  Pass
+    ``shared_gpus`` to make all OpenCL workers share devices instead.
     """
-    hypervisor = Hypervisor(policy=policy)
-    for api_name in apis:
-        stack = build_stack(api_name)
-        if api_name == "opencl":
-            if shared_gpus is not None:
-                devices_factory = lambda: list(shared_gpus)  # noqa: E731
-            else:
-                factory = gpu_factory or SimulatedGPU
-                devices_factory = lambda f=factory: [f()]  # noqa: E731
-            binder = opencl_session_binder(
-                devices_factory, memory_manager_factory
-            )
-        elif api_name == "mvnc":
-            factory = ncs_factory or SimulatedNCS
-            binder = mvnc_session_binder(lambda f=factory: [f()])
-        elif api_name == "qat":
-            from repro.qat.device import SimulatedQAT
-            from repro.server.bindings import qat_session_binder
-
-            binder = qat_session_binder(lambda: [SimulatedQAT()])
-        elif api_name == "tpu":
-            from repro.server.bindings import tpu_session_binder
-            from repro.tpu.device import SimulatedTPU
-
-            binder = tpu_session_binder(lambda: [SimulatedTPU()])
-        else:
-            raise KeyError(f"unknown API {api_name!r}")
-        hypervisor.register_api(
-            ApiRegistration(
-                name=api_name,
-                routing_table=stack.routing_table(),
-                dispatch=stack.dispatch(),
-                record_kinds=stack.record_kinds(),
-                guest_module=stack.guest_module,
-                session_binder=binder,
-            )
-        )
-    return hypervisor
+    return VirtualStack.build(
+        *apis,
+        policy=policy,
+        batch_policy=batch_policy,
+        gpu_factory=gpu_factory,
+        shared_gpus=shared_gpus,
+        ncs_factory=ncs_factory,
+        memory_manager_factory=memory_manager_factory,
+    ).hypervisor

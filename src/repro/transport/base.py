@@ -9,10 +9,17 @@ shortcut.  Timing comes from each transport's cost parameters.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
-from repro.remoting.codec import Command, Reply, decode_message, encode_message
+from repro.remoting.codec import (
+    Command,
+    CommandBatch,
+    Reply,
+    ReplyBatch,
+    decode_message,
+    encode_message,
+)
 from repro.telemetry import tracer as _tele
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -45,6 +52,33 @@ class DeliveryResult:
     timed_out: bool = False
 
 
+@dataclass
+class BatchDeliveryResult:
+    """Outcome of one coalesced :class:`CommandBatch` flush.
+
+    ``replies``      — one reply per inner command, in command order
+                       (empty when the whole frame failed).
+    ``sent_at``      — guest time when the frame left the guest.
+    ``completed_at`` — host time when the last inner command finished.
+    ``timed_out``    — the frame (or its reply) was lost in flight; the
+                       batch dropped *atomically* and, when every inner
+                       command is idempotent, may be retransmitted.
+    ``error``        — batch-level router rejection (breaker open,
+                       oversized batch...); None when routing ran.
+    """
+
+    replies: List[Reply] = field(default_factory=list)
+    sent_at: float = 0.0
+    completed_at: float = 0.0
+    timed_out: bool = False
+    error: Optional[str] = None
+
+    @property
+    def failed(self) -> bool:
+        """The batch as a whole never produced per-command replies."""
+        return self.timed_out or self.error is not None
+
+
 class Transport:
     """Base class: cost hooks + the shared delivery mechanics."""
 
@@ -74,6 +108,16 @@ class Transport:
         Subclasses with per-byte copy costs should override.
         """
         return 0.15e-6
+
+    def flush_cost(self, nbytes: int, count: int) -> float:
+        """Guest-side cost of flushing one coalesced frame.
+
+        A batch is priced as *one* frame: the transport's fixed
+        asynchronous submission overhead (the single doorbell-equivalent
+        charge) is paid once for the whole frame, plus its summed bytes
+        — instead of once per command.  See docs/cost-model.md.
+        """
+        return self.enqueue_cost(nbytes)
 
     def span_attrs(self, nbytes: int) -> Dict[str, Any]:
         """Transport-specific attributes for the ``transport.send`` span.
@@ -125,3 +169,43 @@ class Transport:
             completed_at=reply.complete_time,
             reply_cost=self.recv_cost(len(reply_wire)),
         )
+
+    def deliver_batch(self, batch: CommandBatch,
+                      guest_now: float) -> BatchDeliveryResult:
+        """Forward one coalesced frame of async commands, as one frame.
+
+        The whole batch crosses the channel in a single delivery — one
+        frame, one doorbell-equivalent fixed charge — and the router
+        answers with a single :class:`ReplyBatch`.
+        """
+        wire = encode_message(batch)
+        self.tx_bytes += len(wire)
+        self.messages += 1
+        sent_at = guest_now + self.flush_cost(len(wire), len(batch))
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "transport.flush", guest_now, sent_at,
+                layer="transport",
+                vm_id=batch.vm_id, function="<batch>",
+                transport=self.name, wire_bytes=len(wire),
+                commands=len(batch), submit="batch",
+                **self.span_attrs(len(wire)),
+            )
+        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at,
+                                         source=batch.vm_id)
+        decoded = decode_message(reply_wire)
+        self.rx_bytes += len(reply_wire)
+        if isinstance(decoded, ReplyBatch):
+            return BatchDeliveryResult(
+                replies=decoded.replies, sent_at=sent_at,
+                completed_at=decoded.complete_time,
+            )
+        if isinstance(decoded, Reply):
+            # batch-level rejection: the router never unbundled the frame
+            return BatchDeliveryResult(
+                replies=[], sent_at=sent_at,
+                completed_at=decoded.complete_time,
+                error=decoded.error or "router returned an empty reply",
+            )
+        raise TransportError("router returned a non-reply message")

@@ -12,7 +12,7 @@ import pytest
 from repro.guest.library import RemotingError
 from repro.opencl import types
 from repro.remoting.buffers import OutBox
-from repro.stack import build_stack, make_hypervisor
+from repro.stack import VirtualStack
 from repro.workloads import InceptionWorkload
 
 VECTOR_SRC = (
@@ -22,13 +22,18 @@ VECTOR_SRC = (
 
 
 @pytest.fixture()
-def hv():
-    return make_hypervisor(apis=("opencl",))
+def stack():
+    return VirtualStack.build("opencl")
 
 
 @pytest.fixture()
-def vm(hv):
-    return hv.create_vm("vm-test")
+def hv(stack):
+    return stack.hypervisor
+
+
+@pytest.fixture()
+def vm(stack):
+    return stack.add_vm("vm-test").vm
 
 
 @pytest.fixture()
@@ -218,10 +223,9 @@ class TestDeallocation:
 
 class TestMVNCForwarded:
     def test_inception_through_stack(self):
-        hv = make_hypervisor(apis=("mvnc",))
-        vm = hv.create_vm("vm-ncs")
+        session = VirtualStack.build("mvnc").add_vm("vm-ncs")
         workload = InceptionWorkload(batch=2)
-        result = workload.run(vm.library("mvnc"))
+        result = workload.run(session.lib)
         assert result.verified, result.detail
 
 

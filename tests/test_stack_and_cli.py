@@ -5,7 +5,13 @@ import os
 import pytest
 
 from repro.codegen.cli import main as cava_main
-from repro.stack import build_stack, default_specs_dir, load_spec, make_hypervisor
+from repro.stack import (
+    VirtualStack,
+    build_stack,
+    default_specs_dir,
+    load_spec,
+    make_hypervisor,
+)
 
 
 class TestStack:
@@ -55,6 +61,52 @@ class TestStack:
         assert ("vm-d", "opencl") in hv.workers
         hv.destroy_vm("vm-d")
         assert ("vm-d", "opencl") not in hv.workers
+
+
+class TestVirtualStackFacade:
+    def test_build_add_vm_is_ready_to_call(self):
+        session = VirtualStack.build("opencl").add_vm("vm0")
+        assert session.lib.clGetPlatformIDs(1, [None], None) == 0
+        assert session.time > 0.0
+
+    def test_default_api_is_opencl(self):
+        stack = VirtualStack.build()
+        assert stack.apis == ["opencl"]
+
+    def test_lib_ambiguous_on_multi_api_stack(self):
+        stack = VirtualStack.build("opencl", "mvnc")
+        session = stack.add_vm("vm-multi")
+        with pytest.raises(ValueError, match="pick one"):
+            session.lib
+        assert session.library("opencl") is not None
+        assert session.library("mvnc") is not None
+
+    def test_sessions_are_tracked(self):
+        stack = VirtualStack.build("opencl")
+        session = stack.add_vm("vm-a")
+        assert stack.session("vm-a") is session
+        assert session.vm_id == "vm-a"
+
+    def test_session_shutdown_destroys_vm(self):
+        stack = VirtualStack.build("opencl")
+        session = stack.add_vm("vm-gone")
+        session.lib.clGetPlatformIDs(1, [None], None)
+        assert ("vm-gone", "opencl") in stack.hypervisor.workers
+        session.shutdown()
+        assert ("vm-gone", "opencl") not in stack.hypervisor.workers
+
+    def test_make_hypervisor_is_thin_wrapper(self):
+        hv = make_hypervisor(apis=("opencl",))
+        stack = VirtualStack.build("opencl")
+        assert sorted(hv.apis) == sorted(stack.hypervisor.apis)
+
+    def test_router_and_admin_report_exposed(self):
+        stack = VirtualStack.build("opencl")
+        session = stack.add_vm("vm-adm")
+        session.lib.clGetPlatformIDs(1, [None], None)
+        assert stack.router is stack.hypervisor.router
+        report = stack.admin_report()
+        assert "vm-adm" in report
 
 
 class TestCavaCLI:

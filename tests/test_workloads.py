@@ -11,7 +11,7 @@ import pytest
 
 from repro.opencl import api as cl_api
 from repro.opencl import session
-from repro.stack import make_hypervisor
+from repro.stack import VirtualStack
 from repro.workloads import (
     OPENCL_WORKLOADS,
     BFSWorkload,
@@ -26,9 +26,7 @@ SMALL = 0.06  # scale factor keeping per-test wall time low
 
 @pytest.fixture(scope="module")
 def forwarded_cl():
-    hv = make_hypervisor(apis=("opencl",))
-    vm = hv.create_vm("vm-workloads")
-    return vm.library("opencl")
+    return VirtualStack.build("opencl").add_vm("vm-workloads").lib
 
 
 @pytest.mark.parametrize("workload_cls", OPENCL_WORKLOADS,
