@@ -1,0 +1,134 @@
+"""Transfer-cache sweep: what content-addressed elision buys per channel.
+
+The cache digests outgoing payloads and sends a 16-byte ref instead of
+bytes the server has already seen, so the win scales with (a) how much
+of the wire traffic is re-sent unchanged and (b) the channel's per-byte
+copy cost.  The sweep prices the iterative-upload pattern on each
+transport and then sweeps ``digest_byte_cost`` to find the crossover
+where digesting on the guest CPU stops paying for itself.
+
+The fixture-free gate at the bottom is the CI assertion: with the cache
+armed, guest→host wire bytes (the virtual-time copy cost at the ring's
+per-byte rate) drop by at least 30% on the iterative workload, and the
+cached run is never slower.
+"""
+
+from repro.harness.xfer import IterativeUploadWorkload, run_cache_compare
+from repro.remoting.xfercache import CachePolicy
+
+from conftest import print_table
+
+
+def test_xfercache_sweep(once, bench_json):
+    comparisons = {
+        transport: run_cache_compare(transport=transport)
+        for transport in ("ring", "network", "inproc")
+    }
+    once(lambda: None)
+
+    print_table(
+        "transfer cache: iterative-upload per transport",
+        ["transport", "runtime off", "runtime on", "time saved",
+         "tx off", "tx on", "bytes saved"],
+        [
+            [
+                transport,
+                f"{c.off.runtime * 1e6:.1f} us",
+                f"{c.on.runtime * 1e6:.1f} us",
+                f"{c.runtime_saving:.2%}",
+                f"{c.off.tx_bytes}",
+                f"{c.on.tx_bytes}",
+                f"{c.tx_saving:.1%}",
+            ]
+            for transport, c in comparisons.items()
+        ],
+    )
+
+    # crossover: charge the digest to the guest CPU at increasing
+    # per-byte rates until elision stops being worth it.  The ring
+    # moves a byte for ~0.012 ns, so digesting at or above that rate
+    # should erase the win.
+    digest_rates = [0.0, 0.004e-9, 0.012e-9, 0.048e-9]
+    crossover = []
+    for rate in digest_rates:
+        comparison = run_cache_compare(
+            transport="ring",
+            policy=CachePolicy(digest_byte_cost=rate),
+        )
+        crossover.append((rate, comparison))
+
+    print_table(
+        "digest-cost crossover (ring)",
+        ["digest ns/B", "runtime off", "runtime on", "time saved"],
+        [
+            [
+                f"{rate * 1e9:.3f}",
+                f"{c.off.runtime * 1e6:.1f} us",
+                f"{c.on.runtime * 1e6:.1f} us",
+                f"{c.runtime_saving:+.2%}",
+            ]
+            for rate, c in crossover
+        ],
+    )
+
+    for comparison in comparisons.values():
+        assert comparison.off.verified and comparison.on.verified
+    for _, comparison in crossover:
+        assert comparison.off.verified and comparison.on.verified
+
+    # free digests: the cache can only help, on every channel
+    for transport, comparison in comparisons.items():
+        assert comparison.on.runtime <= comparison.off.runtime, transport
+        assert comparison.tx_saving > 0.25, transport
+
+    # the crossover is monotone: costlier digests, smaller savings
+    savings = [c.runtime_saving for _, c in crossover]
+    assert all(a >= b for a, b in zip(savings, savings[1:])), savings
+
+    bench_json("xfercache", {
+        "figure": "xfercache",
+        "workload": IterativeUploadWorkload.name,
+        "transports": {
+            transport: {
+                "runtime_off": c.off.runtime,
+                "runtime_on": c.on.runtime,
+                "runtime_saving": c.runtime_saving,
+                "tx_bytes_off": c.off.tx_bytes,
+                "tx_bytes_on": c.on.tx_bytes,
+                "tx_saving": c.tx_saving,
+                "hits": c.on.hits,
+                "misses": c.on.misses,
+                "bytes_elided": c.on.bytes_elided,
+            }
+            for transport, c in comparisons.items()
+        },
+        "digest_crossover": [
+            {
+                "digest_byte_cost": rate,
+                "runtime_saving": c.runtime_saving,
+                "tx_saving": c.tx_saving,
+            }
+            for rate, c in crossover
+        ],
+    })
+
+
+def test_xfercache_gate():
+    """CI gate, fixture-free on purpose (runs without pytest-benchmark).
+
+    The iterative-upload workload re-sends one unchanged block per
+    step; with the cache armed its guest→host wire bytes — the copy
+    component of virtual time, at the ring's per-byte rate — must drop
+    by at least 30%, with zero misses (shared index), full verification,
+    and no virtual-time regression.
+    """
+    comparison = run_cache_compare(transport="ring")
+    assert comparison.off.verified and comparison.on.verified
+    assert comparison.tx_saving >= 0.30, (
+        f"copy-cost reduction {comparison.tx_saving:.1%} below the "
+        f"30% gate"
+    )
+    assert comparison.on.runtime <= comparison.off.runtime
+    assert comparison.on.misses == 0
+    assert comparison.on.retransmits == 0
+    assert comparison.on.bytes_elided > 0

@@ -169,6 +169,42 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.contained else 1
 
 
+def _cmd_xfer(args: argparse.Namespace) -> int:
+    from repro.harness.report import format_table
+    from repro.harness.xfer import IterativeUploadWorkload, run_cache_compare
+    from repro.remoting.xfercache import CachePolicy
+    from repro.workloads import OPENCL_WORKLOADS
+
+    classes = {cls.name: cls for cls in OPENCL_WORKLOADS}
+    classes[IterativeUploadWorkload.name] = IterativeUploadWorkload
+    workload_cls = classes.get(args.workload)
+    if workload_cls is None:
+        print(f"cava: unknown workload {args.workload!r}; "
+              f"choose from {sorted(classes)}", file=sys.stderr)
+        return 2
+    policy = CachePolicy(min_bytes=args.min_bytes,
+                         shared_index=not args.local_index)
+    comparison = run_cache_compare(workload_cls, scale=args.scale,
+                                   transport=args.transport, policy=policy)
+    print(f"transfer cache: {comparison.workload} "
+          f"(transport={args.transport}, scale={args.scale})")
+    print(format_table(
+        ["cache", "runtime", "verified", "tx bytes", "hits", "misses",
+         "bytes elided", "retransmits"],
+        comparison.rows(),
+    ))
+    print(f"wire-byte saving: {comparison.tx_saving:.1%}   "
+          f"virtual-time saving: {comparison.runtime_saving:.2%}")
+    if comparison.on.store is not None:
+        store = comparison.on.store
+        print(f"store: {store['entries']} entries, "
+              f"{store['bytes_used']} B used, "
+              f"{store['evictions']} evictions")
+    if not (comparison.off.verified and comparison.on.verified):
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="cava",
@@ -265,6 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--scale", type=float, default=0.06,
                        help="workload scale factor")
     chaos.set_defaults(func=_cmd_chaos)
+
+    xfer = sub.add_parser(
+        "xfer", help="transfer-cache comparison: one workload, cache "
+                     "off vs on (docs/cost-model.md)"
+    )
+    xfer.add_argument("--workload", default="iterative-upload",
+                      help="workload name (default: iterative-upload, "
+                           "the re-uploading solver pattern)")
+    xfer.add_argument("--scale", type=float, default=1.0,
+                      help="workload scale factor")
+    xfer.add_argument("--transport", default="ring",
+                      choices=["inproc", "ring", "network"],
+                      help="channel whose copy costs the cache elides")
+    xfer.add_argument("--min-bytes", type=int, default=1024,
+                      help="smallest payload worth digesting")
+    xfer.add_argument("--local-index", action="store_true",
+                      help="guest keeps its own digest index instead of "
+                           "probing the store (exercises NeedBytes)")
+    xfer.set_defaults(func=_cmd_xfer)
     return parser
 
 

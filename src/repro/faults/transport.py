@@ -25,8 +25,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict
 
 from repro.faults.plan import FaultPlan
-from repro.remoting.codec import Reply, ReplyBatch, decode_message, \
-    encode_message
+from repro.remoting.codec import NeedBytes, Reply, ReplyBatch, \
+    decode_message, encode_message
 from repro.telemetry import tracer as _tele
 from repro.transport.base import (
     BatchDeliveryResult,
@@ -141,10 +141,35 @@ class FaultyTransport(Transport):
 
         reply_wire = self.router.deliver(bytes(deliver_wire), sent_at,
                                          source=command.vm_id)
-        reply = decode_message(reply_wire)
-        if not isinstance(reply, Reply):
-            raise TransportError("router returned a non-reply message")
+        decoded = decode_message(reply_wire)
         self.rx_bytes += len(reply_wire)
+
+        if isinstance(decoded, NeedBytes):
+            # cached refs missed the transfer store: nothing executed.
+            # The NeedBytes answer is an ordinary host→guest frame, so
+            # reply-leg faults apply to it too — losing it surfaces as
+            # a timeout the guest may retransmit (always safe here).
+            completed_at = decoded.complete_time
+            reply_decision = plan.decide_reply(command)
+            if reply_decision.drop:
+                plan.record("drop", "reply", command, completed_at)
+                self._trace_fault("drop", "reply", command, completed_at)
+                return self._timeout_result(command, sent_at,
+                                            "need-bytes reply dropped")
+            if reply_decision.delay:
+                plan.record("delay", "reply", command, completed_at)
+                self._trace_fault("delay", "reply", command, completed_at)
+                completed_at += reply_decision.delay
+            return DeliveryResult(
+                reply=Reply(seq=command.seq, complete_time=completed_at),
+                sent_at=sent_at,
+                completed_at=completed_at,
+                reply_cost=self.recv_cost(len(reply_wire)),
+                need_bytes=decoded,
+            )
+        if not isinstance(decoded, Reply):
+            raise TransportError("router returned a non-reply message")
+        reply = decoded
 
         if decision.corrupt and reply.error is not None:
             # the router detected the damage (failed CRC, in effect):
@@ -241,6 +266,23 @@ class FaultyTransport(Transport):
             # frame — no inner command executed, retransmission is safe
             return failure("batch frame corrupted in flight")
 
+        if isinstance(decoded, NeedBytes):
+            # refs in the batch missed; no inner command executed.  The
+            # answer itself is subject to reply-leg faults.
+            completed_at = decoded.complete_time
+            reply_decision = plan.decide_reply(frame)
+            if reply_decision.drop:
+                plan.record("drop", "reply", frame, completed_at)
+                self._trace_fault("drop", "reply", frame, completed_at)
+                return failure("need-bytes reply dropped")
+            if reply_decision.delay:
+                plan.record("delay", "reply", frame, completed_at)
+                self._trace_fault("delay", "reply", frame, completed_at)
+                completed_at += reply_decision.delay
+            return BatchDeliveryResult(
+                replies=[], sent_at=sent_at, completed_at=completed_at,
+                need_bytes=decoded,
+            )
         if isinstance(decoded, Reply):
             return BatchDeliveryResult(
                 replies=[], sent_at=sent_at,

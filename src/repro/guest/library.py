@@ -15,13 +15,14 @@ CAvA); this runtime supplies the API-agnostic machinery:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.guest.batching import BatchPolicy
 from repro.guest.driver import GuestDriver
 from repro.remoting.buffers import OutBox, read_bytes, write_back
 from repro.remoting.codec import Command, CommandBatch, Reply
+from repro.remoting.xfercache import TransferCache
 from repro.telemetry import tracer as _tele
 
 
@@ -44,6 +45,11 @@ class _StagedCall:
     out_targets: Dict[str, Tuple[str, Any]]
     success: Any
     retry_safe: bool
+    #: payloads elided by the transfer cache: param → (kind, original),
+    #: kept guest-side so a NeedBytes answer can restore them
+    elided: Dict[str, Tuple[str, Any]] = field(default_factory=dict)
+    #: digests of eligible payloads this command carried in full
+    sent_digests: List[Tuple[bytes, int]] = field(default_factory=list)
 
 
 class GuestRuntime:
@@ -57,6 +63,7 @@ class GuestRuntime:
         marshal_byte_cost: float = 0.002e-9,
         retry_policy: Optional[Any] = None,
         batch_policy: Optional[BatchPolicy] = None,
+        xfer_cache: Optional[TransferCache] = None,
     ) -> None:
         self.driver = driver
         self.api_name = api_name
@@ -68,6 +75,9 @@ class GuestRuntime:
         #: BatchPolicy for async coalescing; None (or enabled=False)
         #: keeps the per-call async path bit-identical
         self.batch_policy = batch_policy
+        #: TransferCache for content-addressed payload elision; None (or
+        #: a disabled policy) keeps wire frames bit-identical
+        self.xfer_cache = xfer_cache
         #: deferred error from an earlier async call (delivered later)
         self.pending_async_error: Optional[float] = None
         #: guest callback registry: id → callable (§4.2 callbacks)
@@ -252,6 +262,12 @@ class GuestRuntime:
             # channel ahead of the blocking call, preserving program
             # order and the deferred-error contract
             self._flush("sync")
+        elided: Dict[str, Tuple[str, Any, bytes, int]] = {}
+        sent_digests: List[Tuple[bytes, int]] = []
+        cached_refs: Dict[str, List[Any]] = {}
+        if self.xfer_cache is not None and self.xfer_cache.policy.enabled:
+            (in_buffers, scalars, elided, sent_digests,
+             cached_refs) = self._elide_payloads(in_buffers, scalars, clock)
         payload = sum(len(chunk) for chunk in in_buffers.values())
         marshal_start = clock.now
         clock.advance(
@@ -269,6 +285,7 @@ class GuestRuntime:
             in_buffers=in_buffers,
             out_sizes=out_sizes,
             issue_time=clock.now,
+            cached_refs=cached_refs,
         )
         if span is not None:
             span.attrs.update(
@@ -286,7 +303,8 @@ class GuestRuntime:
                 and self.batch_policy.enabled):
             self.calls_async += 1
             self._stage(command, function, out_targets, ret_kind,
-                        success, wants_callback, payload, tracer, span)
+                        success, wants_callback, payload, tracer, span,
+                        elided, sent_digests)
             return success
 
         result = self.driver.transport.deliver(
@@ -294,6 +312,14 @@ class GuestRuntime:
         )
         if result.timed_out and self._retryable(mode, ret_kind, out_targets):
             result = self._retry(command, result, clock, tracer, span)
+        if result.need_bytes is not None:
+            result = self._handle_need_bytes(
+                command, elided, result, mode, ret_kind, out_targets,
+                tracer, span,
+            )
+        if self.xfer_cache is not None and not result.timed_out:
+            for digest, size in sent_digests:
+                self.xfer_cache.note_delivered(digest, size)
         clock.advance_to(result.sent_at, "transport")
 
         if mode == "async":
@@ -349,6 +375,142 @@ class GuestRuntime:
                 return deferred
         return value
 
+    # -- the transfer cache (guest half) ------------------------------------------
+
+    def _elide_payloads(
+        self,
+        in_buffers: Dict[str, bytes],
+        scalars: Dict[str, Any],
+        clock: Any,
+    ) -> Tuple[Dict[str, bytes], Dict[str, Any],
+               Dict[str, Tuple[str, Any, bytes, int]],
+               List[Tuple[bytes, int]], Dict[str, List[Any]]]:
+        """Replace cache-resident payloads with digest-only refs.
+
+        Eligible ``in`` buffers and large string scalars (kernel and
+        program sources) that the server store is believed to hold are
+        dropped from the outgoing command and represented by cached
+        refs; the original values are kept guest-side so a
+        :class:`~repro.remoting.codec.NeedBytes` answer can restore
+        them.  Returns the (possibly reduced) buffers and scalars, the
+        kept originals, the digests of eligible payloads still sent in
+        full, and the wire-form refs.
+        """
+        cache = self.xfer_cache
+        cost = 0.0
+        elided: Dict[str, Tuple[str, Any, bytes, int]] = {}
+        sent_digests: List[Tuple[bytes, int]] = []
+        refs: Dict[str, List[Any]] = {}
+        kept_buffers: Dict[str, bytes] = {}
+        for name, chunk in in_buffers.items():
+            ref, decide_cost, digest = cache.consider(name, chunk, "buf")
+            cost += decide_cost
+            if ref is not None:
+                elided[name] = ("buf", chunk, digest, len(chunk))
+                refs[name] = ref.to_wire()
+            else:
+                kept_buffers[name] = chunk
+                if digest is not None:
+                    sent_digests.append((digest, len(chunk)))
+        reduced_scalars: Optional[Dict[str, Any]] = None
+        for name, value in scalars.items():
+            if not isinstance(value, str):
+                continue
+            encoded = value.encode("utf-8")
+            ref, decide_cost, digest = cache.consider(name, encoded, "str")
+            cost += decide_cost
+            if ref is not None:
+                if reduced_scalars is None:
+                    reduced_scalars = dict(scalars)
+                del reduced_scalars[name]
+                elided[name] = ("str", value, digest, len(encoded))
+                refs[name] = ref.to_wire()
+            elif digest is not None:
+                sent_digests.append((digest, len(encoded)))
+        if cost > 0.0:
+            clock.advance(cost, "xfercache")
+        return (kept_buffers,
+                reduced_scalars if reduced_scalars is not None else scalars,
+                elided, sent_digests, refs)
+
+    @staticmethod
+    def _restore_elided(
+        command: Command,
+        elided: Dict[str, Tuple[str, Any, bytes, int]],
+    ) -> None:
+        """Put every elided payload back into a command, dropping refs."""
+        for name, (kind, original, _digest, _size) in elided.items():
+            if kind == "buf":
+                command.in_buffers[name] = original
+            else:
+                command.scalars[name] = original
+        command.cached_refs = {}
+
+    def _handle_need_bytes(
+        self,
+        command: Command,
+        elided: Dict[str, Tuple[str, Any, bytes, int]],
+        result: Any,
+        mode: str,
+        ret_kind: str,
+        out_targets: Dict[str, Tuple[str, Any]],
+        tracer: Any,
+        span: Any,
+    ) -> Any:
+        """The router asked for elided payloads back: retransmit once.
+
+        A ``NeedBytes`` answer guarantees *nothing* executed host-side,
+        so re-delivery is always safe — no idempotence restriction, the
+        crucial difference from a timeout.  The retransmitted frame
+        carries every elided payload in full, so it cannot miss again;
+        a second ``NeedBytes`` is a protocol violation surfaced as a
+        remoting error, never as wrong bytes.
+        """
+        from repro.transport.base import DeliveryResult
+        clock = self.driver.clock
+        cache = self.xfer_cache
+        needed = result.need_bytes
+        # live through the failed exchange: command leg, host detection,
+        # and the (digest-sized) NeedBytes reply leg
+        clock.advance_to(result.sent_at, "transport")
+        clock.advance_to(result.completed_at, "host_wait")
+        if result.reply_cost > 0.0:
+            clock.advance(result.reply_cost, "transport")
+        if cache is not None:
+            cache.forget([entry[2] for entry in needed.missing])
+            cache.retransmits += 1
+        self._restore_elided(command, elided)
+        if tracer.enabled:
+            tracer.record_span(
+                "xfer.retransmit", clock.now, clock.now, layer="guest",
+                vm_id=self.driver.vm_id, api=self.api_name,
+                function=command.function, seq=command.seq,
+                missing=len(needed.missing),
+            )
+        result = self.driver.transport.deliver(
+            command, clock.now, asynchronous=(mode == "async")
+        )
+        if result.timed_out and self._retryable(mode, ret_kind,
+                                                out_targets):
+            result = self._retry(command, result, clock, tracer, span)
+        if result.need_bytes is not None:
+            reply = Reply(
+                seq=command.seq,
+                error=("transfer cache: full-payload retransmission "
+                       "answered NeedBytes again"),
+                complete_time=result.completed_at,
+            )
+            return DeliveryResult(
+                reply=reply, sent_at=result.sent_at,
+                completed_at=result.completed_at,
+                reply_cost=result.reply_cost,
+            )
+        if cache is not None and not result.timed_out:
+            for _name, (_kind, _original, digest,
+                        size) in elided.items():
+                cache.note_delivered(digest, size)
+        return result
+
     # -- async command coalescing -------------------------------------------------
 
     def _stage(
@@ -362,6 +524,8 @@ class GuestRuntime:
         payload: int,
         tracer: Any,
         span: Any,
+        elided: Optional[Dict[str, Tuple[str, Any, bytes, int]]] = None,
+        sent_digests: Optional[List[Tuple[bytes, int]]] = None,
     ) -> None:
         """Park an async command in the coalescing queue.
 
@@ -384,7 +548,9 @@ class GuestRuntime:
                 queued=len(self._queue) + 1, bytes=payload,
             )
         self._queue.append(_StagedCall(command, function, out_targets,
-                                       success, retry_safe))
+                                       success, retry_safe,
+                                       elided=elided or {},
+                                       sent_digests=sent_digests or []))
         self._queued_bytes += payload
         needs_reply = wants_callback or any(
             target is not None for _kind, target in out_targets.values())
@@ -415,6 +581,8 @@ class GuestRuntime:
         if (result.timed_out and self.retry_policy is not None
                 and all(entry.retry_safe for entry in staged)):
             result = self._retry_batch(batch, result, clock)
+        if result.need_bytes is not None:
+            result = self._batch_need_bytes(batch, staged, result, clock)
         clock.advance_to(result.sent_at, "transport")
         self.batches_flushed += 1
         self.commands_coalesced += len(staged)
@@ -432,6 +600,15 @@ class GuestRuntime:
             if self.pending_async_error is None:
                 self.pending_async_error = -1001.0
             return
+        if self.xfer_cache is not None:
+            for entry in staged:
+                for digest, size in entry.sent_digests:
+                    self.xfer_cache.note_delivered(digest, size)
+                for _name, (_kind, _orig, digest,
+                            size) in entry.elided.items():
+                    if not entry.command.cached_refs:
+                        # the batch was retransmitted in full
+                        self.xfer_cache.note_delivered(digest, size)
         for entry, reply in zip(staged, result.replies):
             self._note_async_outcome(reply, entry.success)
             if reply.error is None:
@@ -462,6 +639,40 @@ class GuestRuntime:
             result = self.driver.transport.deliver_batch(batch, clock.now)
         if result.timed_out:
             self.giveups += 1
+        return result
+
+    def _batch_need_bytes(self, batch: CommandBatch, staged: List[Any],
+                          result: Any, clock: Any) -> Any:
+        """Refs in a flushed batch missed: restore all and re-deliver.
+
+        The router resolved the frame transactionally — no inner
+        command executed — so one full-payload retransmission of the
+        whole batch is always safe.  If the retransmission fails too,
+        the result flows back to :meth:`_flush` and surfaces as the
+        usual deferred async error.
+        """
+        cache = self.xfer_cache
+        needed = result.need_bytes
+        clock.advance_to(result.sent_at, "transport")
+        clock.advance_to(result.completed_at, "host_wait")
+        if cache is not None:
+            cache.forget([entry[2] for entry in needed.missing])
+            cache.retransmits += 1
+        for entry in staged:
+            self._restore_elided(entry.command, entry.elided)
+        tracer = _tele.active()
+        if tracer.enabled:
+            tracer.record_span(
+                "xfer.retransmit", clock.now, clock.now, layer="guest",
+                vm_id=self.driver.vm_id, api=self.api_name,
+                function="<batch>",
+                seq=batch.commands[0].seq if batch.commands else -1,
+                missing=len(needed.missing),
+            )
+        result = self.driver.transport.deliver_batch(batch, clock.now)
+        if (result.timed_out and self.retry_policy is not None
+                and all(entry.retry_safe for entry in staged)):
+            result = self._retry_batch(batch, result, clock)
         return result
 
     # -- transport-failure recovery ---------------------------------------------

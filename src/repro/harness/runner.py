@@ -76,17 +76,22 @@ def run_virtualized(
     transport: str = "inproc",
     tracer: Optional[Any] = None,
     batch_policy: Optional[Any] = None,
+    cache_policy: Optional[Any] = None,
 ) -> Measurement:
     """Run a workload inside a guest VM through the full AvA stack.
 
     Pass a :class:`repro.telemetry.Tracer` to record the run's spans;
     the default keeps the zero-cost no-op tracer installed.  Pass a
     :class:`repro.guest.batching.BatchPolicy` to coalesce the VM's async
-    commands into batched wire frames (None = per-call async).
+    commands into batched wire frames (None = per-call async), and a
+    :class:`repro.remoting.xfercache.CachePolicy` to elide re-sent
+    payloads through the content-addressed transfer cache (None = full
+    payloads on every crossing).
     """
     hv = hypervisor or make_hypervisor(apis=(api_name,))
     vm = hv.create_vm(vm_id, transport=transport,
-                      batch_policy=batch_policy)
+                      batch_policy=batch_policy,
+                      cache_policy=cache_policy)
     library = vm.library(api_name)
     if tracer is not None:
         with _tele.use(tracer):

@@ -19,7 +19,9 @@ from repro.hypervisor.policy import RateLimiter, ResourcePolicy
 from repro.hypervisor.router import Router, RoutingTable
 from repro.hypervisor.vm import GuestVM
 from repro.migration.replayer import MigrationReport, migrate_worker
+from repro.remoting.xfercache import CachePolicy, TransferCache
 from repro.server.api_server import ApiServerWorker
+from repro.server.xferstore import TransferStore
 from repro.spec.model import RecordKind
 from repro.transport.base import Transport
 from repro.transport.inproc import InProcTransport
@@ -55,14 +57,21 @@ class Hypervisor:
     """The host: router + VMs + API server workers."""
 
     def __init__(self, policy: Optional[ResourcePolicy] = None,
-                 batch_policy: Optional[Any] = None) -> None:
+                 batch_policy: Optional[Any] = None,
+                 cache_policy: Optional[CachePolicy] = None) -> None:
         self.policy = policy or ResourcePolicy()
         #: default async-coalescing policy for new VMs (None = per-call)
         self.batch_policy = batch_policy
+        #: default transfer-cache policy for new VMs (None = uncached)
+        self.cache_policy = cache_policy
+        #: per-VM content-addressed transfer stores (only for VMs whose
+        #: cache policy is armed)
+        self.xfer_stores: Dict[str, TransferStore] = {}
         self.rate_limiter = RateLimiter(self.policy)
         self.router = Router(self._worker_for, rate_limiter=self.rate_limiter,
                              policy=self.policy,
-                             on_worker_lost=self._on_worker_lost)
+                             on_worker_lost=self._on_worker_lost,
+                             store_resolver=self.xfer_stores.get)
         self.apis: Dict[str, ApiRegistration] = {}
         self.vms: Dict[str, GuestVM] = {}
         self.workers: Dict[Tuple[str, str], ApiServerWorker] = {}
@@ -106,6 +115,7 @@ class Hypervisor:
 
     def create_vm(self, vm_id: str, transport: str = "inproc",
                   batch_policy: Optional[Any] = None,
+                  cache_policy: Optional[CachePolicy] = None,
                   **transport_kwargs: Any) -> GuestVM:
         if vm_id in self.vms:
             raise ValueError(f"VM {vm_id!r} already exists")
@@ -120,7 +130,24 @@ class Hypervisor:
             channel = FaultyTransport(channel, self.fault_plan)
         if batch_policy is None:
             batch_policy = self.batch_policy
-        vm = GuestVM(vm_id, channel, batch_policy=batch_policy)
+        if cache_policy is None:
+            cache_policy = self.cache_policy
+        xfer_cache = None
+        if cache_policy is not None and cache_policy.enabled:
+            store = TransferStore(
+                vm_id,
+                capacity_bytes=cache_policy.capacity_bytes,
+                capacity_entries=cache_policy.capacity_entries,
+                min_bytes=cache_policy.min_bytes,
+                max_entry_bytes=cache_policy.max_entry_bytes,
+            )
+            self.xfer_stores[vm_id] = store
+            xfer_cache = TransferCache(
+                cache_policy,
+                store=store if cache_policy.shared_index else None,
+            )
+        vm = GuestVM(vm_id, channel, batch_policy=batch_policy,
+                     xfer_cache=xfer_cache)
         if self._retry_policy is not None:
             vm.set_retry_policy(self._retry_policy)
         self.vms[vm_id] = vm
@@ -133,6 +160,7 @@ class Hypervisor:
         vm = self.vms.pop(vm_id, None)
         if vm is not None:
             vm.shutdown()
+        self.xfer_stores.pop(vm_id, None)
         for key in [k for k in self.workers if k[0] == vm_id]:
             del self.workers[key]
 
@@ -168,6 +196,14 @@ class Hypervisor:
         if worker is not None:
             worker.crash(reason)
         self.lost_workers[key] = reason
+        # cached payloads lived in the dead server's address space:
+        # refs into them must miss, never resolve to stale state
+        store = self.xfer_stores.get(vm_id)
+        if store is not None:
+            # the guest-side cache is NOT told: its stale beliefs (in
+            # local-index mode) surface as NeedBytes misses and heal
+            # through retransmission, exactly like a real channel reset
+            store.clear(f"worker lost: {reason}")
 
     def restart_worker(self, vm_id: str, api_name: str) -> ApiServerWorker:
         """Bring up a fresh worker for a crashed (VM, API) pair.
@@ -183,6 +219,11 @@ class Hypervisor:
             raise KeyError(
                 f"cannot restart worker for VM {vm_id!r} API {api_name!r}"
             )
+        store = self.xfer_stores.get(vm_id)
+        if store is not None:
+            # a fresh server process starts with an empty store, even if
+            # the crash path never ran (administrative restarts)
+            store.clear("worker restarted")
         worker = self._spawn_worker(vm_id, registration)
         self.workers[key] = worker
         return worker
@@ -246,4 +287,12 @@ class Hypervisor:
                 "resources": dict(metrics.resources),
                 "per_function": dict(metrics.per_function),
             }
+            store = self.xfer_stores.get(vm_id)
+            if store is not None:
+                report[vm_id]["xfer"] = {
+                    "hits": metrics.xfer_hits,
+                    "misses": metrics.xfer_misses,
+                    "bytes_elided": metrics.xfer_bytes_elided,
+                    "store": store.snapshot(),
+                }
         return report

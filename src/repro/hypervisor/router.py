@@ -22,6 +22,7 @@ from repro.remoting.codec import (
     CodecError,
     Command,
     CommandBatch,
+    NeedBytes,
     Reply,
     ReplyBatch,
     decode_message,
@@ -81,6 +82,12 @@ class VMMetrics:
     rate_delay: float = 0.0
     #: commands answered with a server-lost error (worker crashed)
     server_lost: int = 0
+    #: cached refs resolved from the per-VM transfer store
+    xfer_hits: int = 0
+    #: cached refs that missed (answered with a NeedBytes frame)
+    xfer_misses: int = 0
+    #: payload bytes that never crossed the channel thanks to hits
+    xfer_bytes_elided: int = 0
     #: resource name → accumulated estimate (from `consumes` annotations)
     resources: Dict[str, float] = field(default_factory=dict)
     per_function: Dict[str, int] = field(default_factory=dict)
@@ -121,8 +128,13 @@ class Router:
         breaker_window: float = 1e-3,
         breaker_cooldown: float = 5e-3,
         max_batch_commands: int = 4096,
+        store_resolver: Optional[Callable[[str], Any]] = None,
     ) -> None:
         self.worker_resolver = worker_resolver
+        #: ``store_resolver(vm_id)`` returns the VM's TransferStore (or
+        #: ``None``); absent entirely when no CachePolicy is armed, so
+        #: cached refs are rejected rather than silently dropped
+        self.store_resolver = store_resolver
         self.rate_limiter = rate_limiter
         #: ResourcePolicy supplying per-VM resource quotas (optional)
         self.policy = policy
@@ -265,6 +277,136 @@ class Router:
         state = self.breakers.get(source)
         return state is not None and arrival < state.open_until
 
+    # -- the transfer cache (content-addressed payload elision) ---------------
+
+    def _store_for(self, vm_id: str) -> Optional[Any]:
+        if self.store_resolver is None:
+            return None
+        return self.store_resolver(vm_id)
+
+    def _resolve_refs(self, commands: List[Command], arrival: float,
+                      vm_id: str) -> Optional[bytes]:
+        """Resolve every cached ref in one frame, transactionally.
+
+        Returns ``None`` when the frame is fully materialized (refs
+        replaced by their stored payloads, literal payloads seeded into
+        the store) and routing may proceed.  Otherwise returns an
+        encoded answer for the whole frame — a :class:`NeedBytes`
+        naming *every* unresolved ref (nothing executes; the guest
+        retransmits once with payloads restored), or an error
+        :class:`Reply` for refs that are hostile rather than merely
+        stale.  All-or-nothing resolution keeps batch semantics simple:
+        a frame either routes exactly as if it had carried full
+        payloads, or it does not route at all.
+        """
+        store = self._store_for(vm_id)
+        has_refs = any(command.cached_refs for command in commands)
+        if not has_refs and store is None:
+            return None
+        first_seq = commands[0].seq
+        if has_refs and store is None:
+            # refs without an armed cache are a protocol violation, not
+            # a miss — a retransmission could never succeed either
+            if vm_id in self.known_vms:
+                self.metrics_for(vm_id).rejected += 1
+            return encode_message(
+                Reply(seq=first_seq,
+                      error="router: cached refs without a transfer "
+                            "store (cache not armed for this VM)",
+                      complete_time=arrival)
+            )
+        tracer = _tele.active()
+        missing: List[Any] = []
+        resolved: List[Any] = []
+        for command in commands:
+            for param, entry in command.cached_refs.items():
+                digest, size, kind = entry
+                if size > self.max_payload_bytes:
+                    if vm_id in self.known_vms:
+                        self.metrics_for(vm_id).rejected += 1
+                    return encode_message(
+                        Reply(seq=first_seq,
+                              error=(f"router: cached ref {param!r} "
+                                     f"claims {size} B, beyond limit "
+                                     f"{self.max_payload_bytes} B"),
+                              complete_time=arrival)
+                    )
+                data = store.get(digest)
+                if data is None or len(data) != size:
+                    missing.append([command.seq, param, digest])
+                else:
+                    resolved.append((command, param, data, kind))
+        if missing:
+            entry = self.metrics_for(vm_id) \
+                if vm_id in self.known_vms else None
+            if entry is not None:
+                entry.xfer_misses += len(missing)
+            if tracer.enabled:
+                tracer.record_span(
+                    "xfer.miss", arrival, arrival, layer="router",
+                    vm_id=vm_id, function="<xfer>",
+                    missing=len(missing),
+                )
+            return encode_message(
+                NeedBytes(seq=first_seq, missing=missing,
+                          complete_time=arrival)
+            )
+        for command, param, data, kind in resolved:
+            if kind == "str":
+                try:
+                    command.scalars[param] = data.decode("utf-8")
+                except UnicodeDecodeError:
+                    if vm_id in self.known_vms:
+                        self.metrics_for(vm_id).rejected += 1
+                    return encode_message(
+                        Reply(seq=first_seq,
+                              error=(f"router: cached ref {param!r} "
+                                     f"resolves to non-UTF-8 bytes for "
+                                     f"kind 'str'"),
+                              complete_time=arrival)
+                    )
+            else:
+                command.in_buffers[param] = data
+        hit_bytes = 0
+        for command, param, data, kind in resolved:
+            command.cached_refs = {}
+            hit_bytes += len(data)
+        if resolved and vm_id in self.known_vms:
+            entry = self.metrics_for(vm_id)
+            entry.xfer_hits += len(resolved)
+            entry.xfer_bytes_elided += hit_bytes
+        if resolved and tracer.enabled:
+            tracer.record_span(
+                "xfer.hit", arrival, arrival, layer="router",
+                vm_id=vm_id, function="<xfer>",
+                hits=len(resolved), bytes_elided=hit_bytes,
+            )
+        self._seed_store(commands, store)
+        return None
+
+    def _seed_store(self, commands: List[Command],
+                    store: Optional[Any]) -> None:
+        """Remember this frame's literal payloads for future refs.
+
+        Digests are computed server-side from the bytes actually
+        received — the wire carries no digest for full payloads (frames
+        from a cache-armed guest are byte-identical to uncached ones
+        until the first elision), and a guest cannot poison the store
+        with a digest its bytes do not hash to.
+        """
+        if store is None:
+            return
+        for command in commands:
+            for chunk in command.in_buffers.values():
+                if store.min_bytes <= len(chunk) <= store.max_entry_bytes:
+                    store.insert(chunk)
+            for value in command.scalars.values():
+                if isinstance(value, str):
+                    encoded = value.encode("utf-8")
+                    if store.min_bytes <= len(encoded) \
+                            <= store.max_entry_bytes:
+                        store.insert(encoded)
+
     # -- the data path -----------------------------------------------------------
 
     def deliver(self, wire: bytes, arrival: float,
@@ -308,6 +450,9 @@ class Router:
                 Reply(seq=-1, error="router: expected a command",
                       complete_time=arrival)
             )
+        answered = self._resolve_refs([message], arrival, message.vm_id)
+        if answered is not None:
+            return answered
         reply = self._route(message, arrival)
         try:
             return encode_message(reply)
@@ -343,6 +488,9 @@ class Router:
                              f"{self.max_batch_commands}"),
                       complete_time=arrival)
             )
+        answered = self._resolve_refs(batch.commands, arrival, batch.vm_id)
+        if answered is not None:
+            return answered
         tracer = _tele.active()
         replies = []
         at = arrival

@@ -8,22 +8,34 @@ them; the hypervisor transport moves the encoded messages they produce.
 from repro.remoting.buffers import OutBox, as_byte_view, byte_size_of
 from repro.remoting.codec import (
     Command,
+    NeedBytes,
     Reply,
     WireCodec,
     decode_message,
     encode_message,
 )
 from repro.remoting.handles import HandleError, HandleTable
+from repro.remoting.xfercache import (
+    CachePolicy,
+    CachedRef,
+    TransferCache,
+    digest_payload,
+)
 
 __all__ = [
+    "CachePolicy",
+    "CachedRef",
     "Command",
     "HandleError",
     "HandleTable",
+    "NeedBytes",
     "OutBox",
     "Reply",
+    "TransferCache",
     "WireCodec",
     "as_byte_view",
     "byte_size_of",
     "decode_message",
+    "digest_payload",
     "encode_message",
 ]

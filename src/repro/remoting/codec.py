@@ -225,6 +225,55 @@ def _buffer_dict(value: Any, what: str) -> Dict[str, bytes]:
     return result
 
 
+#: digest length the transfer cache puts on the wire (blake2b-16)
+_DIGEST_BYTES = 16
+
+#: payload kinds a cached ref may replace: a bulk ``in`` buffer or a
+#: large string scalar (kernel/program source)
+_CACHED_REF_KINDS = ("buf", "str")
+
+
+def _cached_ref_dict(value: Any, what: str) -> Dict[str, List[Any]]:
+    """Validate a dict of ``param -> [digest, size, kind]`` cached refs.
+
+    Refs come from guests and stand in for real payload bytes, so every
+    field is load-bearing at the trust boundary: the digest keys the
+    server store, the size feeds quota/cost accounting before any bytes
+    exist, and the kind decides where the resolved payload lands.
+    """
+    _checked(value, dict, what)
+    result: Dict[str, List[Any]] = {}
+    for key, entry in value.items():
+        if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+            raise CodecError(
+                f"{what} entry {key!r} must be [digest, size, kind]"
+            )
+        digest, size, kind = entry
+        if not isinstance(digest, (bytes, bytearray, memoryview)):
+            raise CodecError(
+                f"{what} entry {key!r} digest must be bytes, "
+                f"got {type(digest).__name__}"
+            )
+        digest = bytes(digest)
+        if not 1 <= len(digest) <= 64:
+            raise CodecError(
+                f"{what} entry {key!r} digest length {len(digest)} "
+                f"outside [1, 64]"
+            )
+        if not isinstance(size, int) or isinstance(size, bool) or size < 0:
+            raise CodecError(
+                f"{what} entry {key!r} size must be a non-negative int, "
+                f"got {size!r}"
+            )
+        if kind not in _CACHED_REF_KINDS:
+            raise CodecError(
+                f"{what} entry {key!r} kind must be one of "
+                f"{_CACHED_REF_KINDS}, got {kind!r}"
+            )
+        result[key] = [digest, size, kind]
+    return result
+
+
 @dataclass
 class Command:
     """One forwarded API invocation, guest → host."""
@@ -243,6 +292,11 @@ class Command:
     in_buffers: Dict[str, bytes] = field(default_factory=dict)
     #: declared byte sizes of output buffers the host must fill
     out_sizes: Dict[str, int] = field(default_factory=dict)
+    #: content-addressed stand-ins for elided payloads:
+    #: ``param -> [digest, size, kind]`` (see ``repro.remoting.xfercache``);
+    #: empty unless a :class:`~repro.remoting.xfercache.CachePolicy` is
+    #: armed, so the wire encoding without one is unchanged
+    cached_refs: Dict[str, List[Any]] = field(default_factory=dict)
     #: guest virtual time at which the command was issued
     issue_time: float = 0.0
     #: propagated trace context (set only while tracing is enabled, so
@@ -269,6 +323,8 @@ class Command:
         }
         if self.trace_id is not None or self.span_id is not None:
             wire["tr"] = [self.trace_id, self.span_id]
+        if self.cached_refs:
+            wire["xr"] = self.cached_refs
         return wire
 
     @classmethod
@@ -292,6 +348,8 @@ class Command:
                 issue_time=_checked(data["t"], (int, float), "command t"),
                 trace_id=trace[0],
                 span_id=trace[1],
+                cached_refs=_cached_ref_dict(data.get("xr", {}),
+                                             "command xr"),
             )
         except KeyError as missing:
             raise CodecError(f"command missing field {missing}") from None
@@ -300,6 +358,14 @@ class Command:
                 raise CodecError(
                     f"command out-size {name!r} must be an int, "
                     f"got {type(size).__name__}"
+                )
+        for name in command.cached_refs:
+            # a ref and a literal payload for the same parameter is
+            # contradictory — resolving it would silently pick one
+            if name in command.in_buffers:
+                raise CodecError(
+                    f"command parameter {name!r} carries both a cached "
+                    f"ref and literal payload bytes"
                 )
         return command
 
@@ -463,16 +529,74 @@ class ReplyBatch:
         return cls(replies=replies, complete_time=complete_time)
 
 
+@dataclass
+class NeedBytes:
+    """Host → guest: cached refs in a frame missed the transfer store.
+
+    The router answers a frame whose :class:`Command.cached_refs` cannot
+    all be resolved with one ``NeedBytes`` naming every missing ref —
+    and executes *nothing* from that frame — so the guest can restore
+    the payloads and re-deliver the frame exactly once.
+    """
+
+    #: seq of the first command in the rejected frame (batch: first cmd)
+    seq: int
+    #: every unresolved ref as ``[seq, param, digest]``
+    missing: List[Any] = field(default_factory=list)
+    #: host virtual time at which the miss was detected
+    complete_time: float = 0.0
+
+    def to_wire_dict(self) -> Dict[str, Any]:
+        return {
+            "seq": self.seq,
+            "miss": self.missing,
+            "t": self.complete_time,
+        }
+
+    @classmethod
+    def from_wire_dict(cls, data: Dict[str, Any]) -> "NeedBytes":
+        try:
+            seq = _checked(data["seq"], int, "need-bytes seq")
+            entries = _checked(data["miss"], list, "need-bytes miss")
+            complete_time = _checked(data["t"], (int, float),
+                                     "need-bytes t")
+        except KeyError as missing:
+            raise CodecError(
+                f"need-bytes missing field {missing}"
+            ) from None
+        if not entries:
+            raise CodecError("need-bytes names no missing refs")
+        parsed: List[Any] = []
+        for index, entry in enumerate(entries):
+            if not isinstance(entry, (list, tuple)) or len(entry) != 3:
+                raise CodecError(
+                    f"need-bytes miss #{index} must be "
+                    f"[seq, param, digest]"
+                )
+            cmd_seq, param, digest = entry
+            _checked(cmd_seq, int, f"need-bytes miss #{index} seq")
+            _checked(param, str, f"need-bytes miss #{index} param")
+            if not isinstance(digest, (bytes, bytearray, memoryview)):
+                raise CodecError(
+                    f"need-bytes miss #{index} digest must be bytes, "
+                    f"got {type(digest).__name__}"
+                )
+            parsed.append([cmd_seq, param, bytes(digest)])
+        return cls(seq=seq, missing=parsed, complete_time=complete_time)
+
+
 _COMMAND_MAGIC = b"\xabC"
 _REPLY_MAGIC = b"\xabR"
 _COMMAND_BATCH_MAGIC = b"\xabB"
 _REPLY_BATCH_MAGIC = b"\xabP"
+_NEED_BYTES_MAGIC = b"\xabN"
 
 _MESSAGE_MAGICS = {
     Command: _COMMAND_MAGIC,
     Reply: _REPLY_MAGIC,
     CommandBatch: _COMMAND_BATCH_MAGIC,
     ReplyBatch: _REPLY_BATCH_MAGIC,
+    NeedBytes: _NEED_BYTES_MAGIC,
 }
 
 
@@ -513,6 +637,8 @@ def decode_message(data: bytes) -> Any:
             return CommandBatch.from_wire_dict(decoded)
         if magic == _REPLY_BATCH_MAGIC:
             return ReplyBatch.from_wire_dict(decoded)
+        if magic == _NEED_BYTES_MAGIC:
+            return NeedBytes.from_wire_dict(decoded)
     except (TypeError, AttributeError, ValueError) as err:
         raise CodecError(f"malformed message fields: {err}") from err
     raise CodecError(f"bad message magic {magic!r}")

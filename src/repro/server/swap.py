@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from repro.opencl.errors import CLError
 from repro.opencl.runtime import MemObject, MemoryManager
@@ -52,6 +52,10 @@ class _SwapManagerBase(MemoryManager):
         self.capacity_override = capacity_bytes
         self.stats = SwapStats()
         self._resident: List[MemObject] = []
+        #: called with the byte shortfall whenever eviction is needed;
+        #: pure caches (e.g. the transfer store) register here to shed
+        #: before application data gets swapped out
+        self.pressure_listeners: List[Callable[[int], int]] = []
 
     def _capacity(self, mem: MemObject) -> int:
         if self.capacity_override is not None:
@@ -92,6 +96,13 @@ class _SwapManagerBase(MemoryManager):
         needed = self._resident_bytes() + mem.size - capacity
         wait = 0.0
         if needed > 0:
+            # pure caches shed first: their bytes are reconstructible
+            # from the guest, unlike application buffers which must be
+            # DMA'd out.  Listener sheds are free (dropped, not copied)
+            # and don't change residency accounting — they relieve the
+            # server process's memory, not the device's.
+            for listener in self.pressure_listeners:
+                listener(needed)
             for victim in self._victims(needed, skip=mem):
                 wait += self._swap_out(victim)
         return wait

@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.codegen.generator import GeneratedStack, generate_api
 from repro.guest.batching import BatchPolicy
 from repro.hypervisor.hypervisor import ApiRegistration, Hypervisor
+from repro.remoting.xfercache import CachePolicy
 from repro.hypervisor.policy import ResourcePolicy
 from repro.hypervisor.vm import GuestVM
 from repro.mvnc.device import SimulatedNCS
@@ -166,6 +167,7 @@ class VirtualStack:
         *apis: str,
         policy: Optional[ResourcePolicy] = None,
         batch_policy: Optional[BatchPolicy] = None,
+        cache_policy: Optional[CachePolicy] = None,
         gpu_factory: Optional[Callable[[], SimulatedGPU]] = None,
         shared_gpus: Optional[List[SimulatedGPU]] = None,
         ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
@@ -176,11 +178,14 @@ class VirtualStack:
 
         ``batch_policy`` becomes the default async-coalescing policy for
         every VM this stack creates (None = per-call async forwarding,
-        bit-identical to the unbatched path).
+        bit-identical to the unbatched path).  ``cache_policy`` likewise
+        becomes the default transfer-cache policy (None = full payloads
+        on every crossing, bit-identical to the uncached path).
         """
         if not apis:
             apis = ("opencl",)
-        hypervisor = Hypervisor(policy=policy, batch_policy=batch_policy)
+        hypervisor = Hypervisor(policy=policy, batch_policy=batch_policy,
+                                cache_policy=cache_policy)
         for api_name in apis:
             stack = build_stack(api_name)
             if api_name == "opencl":
@@ -222,10 +227,12 @@ class VirtualStack:
 
     def add_vm(self, vm_id: str, transport: str = "inproc",
                batch_policy: Optional[BatchPolicy] = None,
+               cache_policy: Optional[CachePolicy] = None,
                **transport_kwargs: Any) -> GuestSession:
         """Create a VM on this stack and return its guest session."""
         vm = self.hypervisor.create_vm(
             vm_id, transport=transport, batch_policy=batch_policy,
+            cache_policy=cache_policy,
             **transport_kwargs,
         )
         session = GuestSession(self, vm)
@@ -255,6 +262,7 @@ def make_hypervisor(
     ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
     memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
     batch_policy: Optional[BatchPolicy] = None,
+    cache_policy: Optional[CachePolicy] = None,
 ) -> Hypervisor:
     """A hypervisor with the requested generated API stacks registered.
 
@@ -268,6 +276,7 @@ def make_hypervisor(
         *apis,
         policy=policy,
         batch_policy=batch_policy,
+        cache_policy=cache_policy,
         gpu_factory=gpu_factory,
         shared_gpus=shared_gpus,
         ncs_factory=ncs_factory,

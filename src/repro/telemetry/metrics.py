@@ -114,6 +114,10 @@ class VMTelemetry:
     #: guest-runtime recovery counters (absorbed from the runtimes)
     retries: int = 0
     giveups: int = 0
+    #: transfer-cache counters (absorbed from the router's VMMetrics)
+    xfer_hits: int = 0
+    xfer_misses: int = 0
+    xfer_bytes_elided: int = 0
 
     def function_metrics(self, function: str) -> FunctionMetrics:
         entry = self.functions.get(function)
@@ -193,6 +197,11 @@ class MetricsRegistry:
             entry.rejected += metrics.rejected
             entry.rate_delay += metrics.rate_delay
             entry.server_lost += getattr(metrics, "server_lost", 0)
+            entry.xfer_hits += getattr(metrics, "xfer_hits", 0)
+            entry.xfer_misses += getattr(metrics, "xfer_misses", 0)
+            entry.xfer_bytes_elided += getattr(
+                metrics, "xfer_bytes_elided", 0
+            )
             for resource, amount in metrics.resources.items():
                 entry.resources[resource] = (
                     entry.resources.get(resource, 0.0) + amount

@@ -15,6 +15,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional
 from repro.remoting.codec import (
     Command,
     CommandBatch,
+    NeedBytes,
     Reply,
     ReplyBatch,
     decode_message,
@@ -43,6 +44,12 @@ class DeliveryResult:
                        (frame lost or damaged in flight); the reply is
                        a synthesized error and, for idempotent calls,
                        the guest runtime may retransmit.
+    ``need_bytes``   — the router answered with a
+                       :class:`~repro.remoting.codec.NeedBytes` instead
+                       of a reply: cached refs missed the transfer
+                       store and nothing executed.  ``reply`` is a
+                       placeholder; the guest runtime restores the
+                       elided payloads and re-delivers once.
     """
 
     reply: Reply
@@ -50,6 +57,7 @@ class DeliveryResult:
     completed_at: float
     reply_cost: float
     timed_out: bool = False
+    need_bytes: Optional[NeedBytes] = None
 
 
 @dataclass
@@ -72,11 +80,14 @@ class BatchDeliveryResult:
     completed_at: float = 0.0
     timed_out: bool = False
     error: Optional[str] = None
+    #: the router asked for elided payloads back (see DeliveryResult)
+    need_bytes: Optional[NeedBytes] = None
 
     @property
     def failed(self) -> bool:
         """The batch as a whole never produced per-command replies."""
-        return self.timed_out or self.error is not None
+        return (self.timed_out or self.error is not None
+                or self.need_bytes is not None)
 
 
 class Transport:
@@ -159,14 +170,25 @@ class Transport:
         # circuit breaker keys on this even when the frame won't decode
         reply_wire = self.router.deliver(bytes(wire), arrival=sent_at,
                                          source=command.vm_id)
-        reply = decode_message(reply_wire)
-        if not isinstance(reply, Reply):
-            raise TransportError("router returned a non-reply message")
+        decoded = decode_message(reply_wire)
         self.rx_bytes += len(reply_wire)
+        if isinstance(decoded, NeedBytes):
+            # the frame's cached refs missed: nothing executed; the
+            # guest runtime restores the payloads and re-delivers
+            return DeliveryResult(
+                reply=Reply(seq=command.seq,
+                            complete_time=decoded.complete_time),
+                sent_at=sent_at,
+                completed_at=decoded.complete_time,
+                reply_cost=self.recv_cost(len(reply_wire)),
+                need_bytes=decoded,
+            )
+        if not isinstance(decoded, Reply):
+            raise TransportError("router returned a non-reply message")
         return DeliveryResult(
-            reply=reply,
+            reply=decoded,
             sent_at=sent_at,
-            completed_at=reply.complete_time,
+            completed_at=decoded.complete_time,
             reply_cost=self.recv_cost(len(reply_wire)),
         )
 
@@ -200,6 +222,12 @@ class Transport:
             return BatchDeliveryResult(
                 replies=decoded.replies, sent_at=sent_at,
                 completed_at=decoded.complete_time,
+            )
+        if isinstance(decoded, NeedBytes):
+            return BatchDeliveryResult(
+                replies=[], sent_at=sent_at,
+                completed_at=decoded.complete_time,
+                need_bytes=decoded,
             )
         if isinstance(decoded, Reply):
             # batch-level rejection: the router never unbundled the frame

@@ -324,3 +324,166 @@ class TestFaultTelemetry:
             assert wrapped.send_cost(nbytes) == inner.send_cost(nbytes)
             assert wrapped.recv_cost(nbytes) == inner.recv_cost(nbytes)
             assert wrapped.enqueue_cost(nbytes) == inner.enqueue_cost(nbytes)
+
+
+class TestXferCacheChaos:
+    """Every fault mode against cached-ref frames and the NeedBytes leg.
+
+    The transfer cache adds two new frame shapes to the wire — commands
+    carrying digest-only refs, and the router's ``NeedBytes`` answer —
+    and both must satisfy the suite's containment invariant: recover
+    via retry/retransmission or surface a typed error, and *never*
+    deliver bytes other than the guest's bytes at send time.
+    """
+
+    DATA_BYTES = 4096
+
+    def cached_stack(self, shared=True, vm_id="v1"):
+        from repro.remoting.xfercache import CachePolicy
+
+        hypervisor = make_hypervisor(apis=("opencl",))
+        vm = hypervisor.create_vm(
+            vm_id,
+            cache_policy=CachePolicy(min_bytes=64, shared_index=shared),
+        )
+        return hypervisor, vm
+
+    def _pump(self, fn, attempts=30):
+        """Retry through structured failures; anything else propagates."""
+        last = None
+        for _ in range(attempts):
+            try:
+                return fn()
+            except RemotingError as err:
+                last = err
+        raise AssertionError(f"never recovered: {last}")
+
+    @pytest.mark.parametrize("mode", MODES)
+    @pytest.mark.parametrize("shared", [True, False])
+    def test_every_mode_on_cached_frames(self, mode, shared):
+        hypervisor, vm = self.cached_stack(shared=shared)
+        env = opened_env(vm)
+        data = np.arange(self.DATA_BYTES, dtype=np.uint8)
+        mem = env.buffer(data.nbytes)
+        # seed the store (and local index) before the faults arm, so
+        # the faulted frames really are digest-only
+        env.write(mem, data)
+        env.write(mem, data)
+        assert hypervisor.router.metrics_for(vm.vm_id).xfer_hits >= 1
+
+        hypervisor.install_fault_plan(FaultPlan.for_mode(mode, seed=SEED))
+        for round_index in range(8):
+            try:
+                env.write(mem, data)
+            except RemotingError:
+                # crash mode: bring the worker back and re-establish the
+                # device state the way a real guest driver would
+                if (vm.vm_id, "opencl") in hypervisor.lost_workers:
+                    hypervisor.restart_worker(vm.vm_id, "opencl")
+                    env = opened_env(vm)
+                    mem = env.buffer(data.nbytes)
+                    self._pump(lambda: env.write(mem, data))
+        got = self._pump(
+            lambda: env.read(mem, data.nbytes, dtype=np.uint8))
+        assert bytes(got) == data.tobytes(), \
+            f"mode {mode} delivered wrong bytes"
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_mode_on_the_need_bytes_leg(self, mode):
+        """Force a genuine miss each round (local index + cleared
+        store), so every faulted exchange includes the miss/retransmit
+        leg — the NeedBytes answer and the full-payload resend."""
+        hypervisor, vm = self.cached_stack(shared=False)
+        env = opened_env(vm)
+        data = np.arange(self.DATA_BYTES, dtype=np.uint8)
+        mem = env.buffer(data.nbytes)
+        env.write(mem, data)
+        env.write(mem, data)
+        cache = vm.xfer_cache
+        assert cache.elided_payloads == 1
+
+        hypervisor.install_fault_plan(FaultPlan.for_mode(mode, seed=SEED))
+        store = hypervisor.xfer_stores[vm.vm_id]
+        for round_index in range(8):
+            store.clear("chaos: force a miss")
+            try:
+                env.write(mem, data)
+            except RemotingError:
+                if (vm.vm_id, "opencl") in hypervisor.lost_workers:
+                    hypervisor.restart_worker(vm.vm_id, "opencl")
+                    env = opened_env(vm)
+                    mem = env.buffer(data.nbytes)
+                    self._pump(lambda: env.write(mem, data))
+        assert cache.retransmits >= 1, "the miss leg never fired"
+        got = self._pump(
+            lambda: env.read(mem, data.nbytes, dtype=np.uint8))
+        assert bytes(got) == data.tobytes(), \
+            f"mode {mode} corrupted the retransmission leg"
+
+    def test_mutation_between_faulted_sends_never_leaks(self):
+        """Interleave guest-side mutation with faulted cached sends:
+        the read-back must always be the *latest successfully written*
+        bytes, never a stale cache resolution."""
+        hypervisor, vm = self.cached_stack(shared=True)
+        env = opened_env(vm)
+        data = bytearray(range(256)) * (self.DATA_BYTES // 256)
+        mem = env.buffer(self.DATA_BYTES)
+        hypervisor.install_fault_plan(FaultPlan.for_mode("all", seed=SEED))
+        model = None
+        for round_index in range(10):
+            data[round_index] = (data[round_index] + 1) % 256
+            payload = np.frombuffer(bytes(data), dtype=np.uint8)
+            try:
+                env.write(mem, payload)
+                model = bytes(data)
+            except RemotingError:
+                pass
+        assert model is not None, "every faulted write failed"
+        got = self._pump(
+            lambda: env.read(mem, self.DATA_BYTES, dtype=np.uint8))
+        assert bytes(got) == model
+
+    def test_need_bytes_reply_dropped_then_retried(self):
+        """Drop every host→guest reply for a while: the NeedBytes
+        answer itself is lost, the guest times out, and the seeded
+        retry path must converge to the correct bytes once the plan
+        stops dropping."""
+        hypervisor, vm = self.cached_stack(shared=False)
+        env = opened_env(vm)
+        data = np.arange(self.DATA_BYTES, dtype=np.uint8)
+        mem = env.buffer(data.nbytes)
+        env.write(mem, data)
+        env.write(mem, data)
+
+        hypervisor.install_fault_plan(
+            FaultPlan(seed=SEED, drop_replies=0.5))
+        store = hypervisor.xfer_stores[vm.vm_id]
+        recovered = 0
+        for _ in range(6):
+            store.clear("chaos: force a miss")
+            try:
+                self._pump(lambda: env.write(mem, data), attempts=10)
+                recovered += 1
+            except AssertionError:
+                pass
+        assert recovered >= 1
+        got = self._pump(
+            lambda: env.read(mem, data.nbytes, dtype=np.uint8))
+        assert bytes(got) == data.tobytes()
+
+    def test_fault_free_cached_run_costs_unchanged_by_idle_plan(self):
+        """A zero-rate plan stays cost-transparent with the cache on."""
+
+        def run(install_plan):
+            hypervisor, vm = self.cached_stack(shared=True,
+                                               vm_id="v-idle")
+            if install_plan:
+                hypervisor.install_fault_plan(FaultPlan(seed=SEED))
+            env = opened_env(vm)
+            data = np.arange(self.DATA_BYTES, dtype=np.uint8)
+            mem = env.buffer(data.nbytes)
+            for _ in range(4):
+                env.write(mem, data)
+            return vm.clock.now
+
+        assert run(False) == run(True)

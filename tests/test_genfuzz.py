@@ -178,6 +178,96 @@ kind_lists_strategy = st.lists(
 )
 
 
+def draw_call_plan(spec, kind_lists, data):
+    """Pre-draw every free value so a plan can replay on several stacks."""
+    plans = []
+    for index in range(len(kind_lists)):
+        func = spec.functions[f"fzCall{index}"]
+        entry = {}
+        for param in func.params:
+            if param.is_handle and not param.ctype.is_pointer:
+                continue
+            if param.element_allocates:
+                continue
+            if param.direction is Direction.OUT and \
+                    param.buffer_size is not None and param.buffer_is_elements:
+                continue
+            if param.direction is Direction.OUT:
+                entry[param.name] = data.draw(
+                    st.integers(min_value=1, max_value=64),
+                    label=f"{func.name}.{param.name}.outsize")
+            elif param.is_string:
+                entry[param.name] = data.draw(
+                    st.text(max_size=8), label=f"{param.name}.str")
+            elif param.ctype.base == "double":
+                entry[param.name] = 0.0
+            elif param.direction is Direction.IN and \
+                    param.buffer_size is not None:
+                continue  # content derives from the preceding size scalar
+            else:
+                entry[param.name] = data.draw(
+                    st.integers(0, 50), label=f"{param.name}.int")
+        plans.append(entry)
+    return plans
+
+
+def replay_call(library, hv, vm, spec, func, plan_entry, handle_pool):
+    """Build args from a pre-drawn plan and run one call.
+
+    Returns every output path as plain bytes/ints so runs on different
+    stacks can be diffed exactly.
+    """
+    args = []
+    out_buffers = []
+    scalar_boxes = []
+    handle_boxes = []
+    for param in func.params:
+        if param.is_handle and not param.ctype.is_pointer:
+            if not handle_pool:
+                worker = hv.worker(vm.vm_id, spec.name)
+                handle_pool.append(worker.handles.allocate(FuzzHandle(-1)))
+            args.append(handle_pool[0])
+        elif param.element_allocates:
+            box = OutBox()
+            handle_boxes.append(box)
+            args.append(box)
+        elif param.direction is Direction.OUT and \
+                param.buffer_size is not None and param.buffer_is_elements:
+            box = OutBox()
+            scalar_boxes.append(box)
+            args.append(box)
+        elif param.direction is Direction.OUT:
+            size_value = plan_entry[param.name]
+            target = bytearray(size_value)
+            out_buffers.append(target)
+            args[-1] = size_value
+            args.append(target)
+        elif param.is_string:
+            args.append(plan_entry[param.name])
+        elif param.ctype.base == "double":
+            args.append(plan_entry[param.name])
+        elif param.direction is Direction.IN and \
+                param.buffer_size is not None:
+            size_value = args[-1]
+            args.append(np.frombuffer(
+                bytes(range(256))[:size_value], dtype=np.uint8
+            ).copy() if size_value else np.zeros(0, np.uint8))
+        else:
+            args.append(plan_entry[param.name])
+    code = getattr(library, func.name)(*args)
+    for box in handle_boxes:
+        handle_pool.append(box.value)
+    return {
+        "code": code,
+        "out_buffers": [bytes(target) for target in out_buffers],
+        "scalar_boxes": [box.value for box in scalar_boxes],
+        # raw handle values are per-worker identities, not comparable
+        # across stacks — only that a real handle came back is
+        "handle_boxes": [isinstance(box.value, int)
+                         for box in handle_boxes],
+    }
+
+
 class TestGeneratorFuzz:
     @settings(max_examples=25, deadline=None)
     @given(kind_lists_strategy, st.data())
@@ -259,3 +349,44 @@ class TestGeneratorFuzz:
             for box in handle_boxes:
                 assert isinstance(box.value, int)
                 handle_pool.append(box.value)
+
+    @settings(max_examples=25, deadline=None)
+    @given(kind_lists_strategy, st.data())
+    def test_cache_on_off_outputs_byte_identical(self, kind_lists, data):
+        """For any generated stack, arming the transfer cache changes
+        nothing observable: every output path — return codes, out
+        buffers, scalar boxes, minted handles — diffs byte-for-byte
+        against the uncached run of the identical call plan.
+
+        Each call runs twice per stack so the cached legs actually
+        elide (the second send of every in-buffer and string re-sends
+        unchanged payloads).
+        """
+        from repro.remoting.xfercache import CachePolicy
+
+        spec = build_spec(kind_lists)
+        native = build_native_module(spec)
+        plans = draw_call_plan(spec, kind_lists, data)
+
+        policies = {
+            "off": None,
+            "shared": CachePolicy(min_bytes=1),
+            "local": CachePolicy(min_bytes=1, shared_index=False),
+        }
+        outputs = {}
+        for label, policy in policies.items():
+            hv = deploy(spec, native)
+            vm = hv.create_vm(f"vm-{spec.name}-{label}",
+                              cache_policy=policy)
+            library = vm.library(spec.name)
+            handle_pool = []
+            run = []
+            for index in range(len(kind_lists)):
+                func = spec.functions[f"fzCall{index}"]
+                for _ in range(2):  # second pass re-sends, cache bites
+                    run.append(replay_call(library, hv, vm, spec, func,
+                                           plans[index], handle_pool))
+            outputs[label] = run
+
+        assert outputs["shared"] == outputs["off"]
+        assert outputs["local"] == outputs["off"]
