@@ -1,0 +1,243 @@
+"""Open-loop overload sweep: tail latency and graceful degradation.
+
+Every other benchmark in the repo is closed-loop — the guest issues the
+next request only after the previous one returns, so the stack can
+never fall behind and queueing-driven tail latency is invisible.  This
+sweep drives one VM with **open-loop** Poisson arrivals from 0.5x to
+2x of its measured capacity and reports the client-perceived
+percentile curve (arrival to completion) plus the SLO-compliant
+fraction at each offered load.
+
+The headline result is *graceful degradation*: with admission control
+(shed a request whose queueing delay already exceeds its budget), the
+served requests stay within the latency SLO and the compliant fraction
+tracks ``capacity / offered`` instead of collapsing to zero the way
+the no-admission comparison leg does.
+
+Output: ``BENCH_overload.json`` — gated in CI by
+``cava slo benchmarks/slo_targets.json --bench ... --json``.
+Smoke mode (``CAVA_SLO_SMOKE=1``) shrinks the sweep for CI.
+"""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro.harness.loadgen import (
+    AdmissionControl,
+    PoissonArrivals,
+    run_open_loop,
+)
+from repro.opencl.kernels import BUFFER, SCALAR, LaunchContext, register_kernel
+from repro.stack import VirtualStack
+from repro.telemetry.slo import BurnRateWindow, SLOMonitor, SLOTarget
+from repro.workloads.base import close_env, open_env
+
+SOURCE = """
+__kernel void overload_step(__global float *acc, __global float *delta,
+                            int n) {}
+"""
+
+
+@register_kernel("overload_step", [BUFFER, BUFFER, SCALAR],
+                 flops_per_item=2.0, bytes_per_item=8.0)
+def _overload_step(ctx: LaunchContext) -> None:
+    n = int(ctx.scalar(2))
+    acc = ctx.buf(0, np.float32)[:n]
+    delta = ctx.buf(1, np.float32)[:n]
+    acc += delta
+
+
+SMOKE = os.environ.get("CAVA_SLO_SMOKE") == "1"
+
+#: offered load as a fraction of measured closed-loop capacity
+LOADS = (0.5, 1.0, 1.5, 2.0) if SMOKE else (0.5, 0.75, 1.0, 1.25, 1.5, 2.0)
+#: open-loop arrivals per sweep leg
+COUNT = 600 if SMOKE else 3000
+#: closed-loop requests used to measure capacity
+CALIBRATE = 100 if SMOKE else 300
+#: items each request touches (kept small: the sweep stresses the
+#: remoting path, not the device)
+ITEMS = 256
+
+#: latency SLO and admission budget, in service-time multiples.  The
+#: admission budget is below the SLO: a request admitted at the budget
+#: boundary still completes inside the SLO after one service time.
+SLO_X = 8.0
+ADMIT_X = 6.0
+
+#: gates asserted here and by `cava slo --bench` (benchmarks/slo_targets.json)
+LOW_LOAD_MIN_COMPLIANT = 0.90
+OVERLOAD_MIN_COMPLIANT = 0.40
+
+
+class _OpenVM:
+    """One VM with a prepared kernel; each request is write+launch+sync."""
+
+    def __init__(self, vm_id):
+        self.session = VirtualStack.build("opencl").add_vm(vm_id)
+        self.env = open_env(self.session.lib)
+        program = self.env.program(SOURCE)
+        self.kernel = self.env.kernel(program, "overload_step")
+        self.delta = np.ones(ITEMS, dtype=np.float32)
+        self.b_acc = self.env.buffer(
+            self.delta.nbytes, host=np.zeros(ITEMS, dtype=np.float32)
+        )
+        self.b_delta = self.env.buffer(self.delta.nbytes)
+
+    def request(self, _session):
+        env = self.env
+        env.write(self.b_delta, self.delta)
+        env.set_args(self.kernel, self.b_acc, self.b_delta, ITEMS)
+        env.launch(self.kernel, [ITEMS])
+        return env.finish()
+
+    def close(self):
+        close_env(self.env)
+        self.session.shutdown()
+
+
+def measure_capacity():
+    """Closed-loop service time per request, on a throwaway VM."""
+    vm = _OpenVM("vm-calibrate")
+    try:
+        start = vm.session.clock.now
+        for _ in range(CALIBRATE):
+            vm.request(vm.session)
+        service = (vm.session.clock.now - start) / CALIBRATE
+    finally:
+        vm.close()
+    return service
+
+
+def run_leg(load, service, admission=True, seed=7):
+    """One open-loop leg at ``load`` x capacity; returns a result row."""
+    slo_latency = SLO_X * service
+    vm = _OpenVM(f"vm-load-{load:g}-{'adm' if admission else 'raw'}")
+    monitor = SLOMonitor([SLOTarget(
+        name="request-latency", vm=vm.session.vm_id,
+        latency=slo_latency, objective=0.95,
+        windows=(BurnRateWindow(long_window=200 * service,
+                                short_window=20 * service,
+                                max_burn_rate=4.0),),
+    )])
+    try:
+        result = run_open_loop(
+            vm.session,
+            lambda session: vm.request(session),
+            PoissonArrivals(rate=load / service, seed=seed),
+            count=COUNT,
+            admission=(AdmissionControl(ADMIT_X * service)
+                       if admission else None),
+            slo_latency=slo_latency,
+            slo_monitor=monitor,
+        )
+    finally:
+        vm.close()
+    percentiles = result.percentiles((0.5, 0.9, 0.99, 0.999))
+    return {
+        "load_factor": load,
+        "admission": admission,
+        "offered_rps": load / service,
+        "offered": result.offered,
+        "served": result.served,
+        "shed": result.shed,
+        "errors": result.errors,
+        "served_fraction": result.served_fraction,
+        "compliant_fraction": result.compliant_fraction,
+        "breach_events": len(monitor.events),
+        "p50_us": percentiles["p50"] * 1e6,
+        "p90_us": percentiles["p90"] * 1e6,
+        "p99_us": percentiles["p99"] * 1e6,
+        "p999_us": percentiles["p99_9"] * 1e6,
+        "mean_us": result.latency.mean * 1e6,
+    }
+
+
+def run_sweep():
+    service = measure_capacity()
+    rows = [run_leg(load, service) for load in LOADS]
+    no_admission = run_leg(1.5, service, admission=False)
+    return {
+        "smoke": SMOKE,
+        "requests_per_leg": COUNT,
+        "service_time_us": service * 1e6,
+        "capacity_rps": 1.0 / service,
+        "slo_latency_us": SLO_X * service * 1e6,
+        "max_queue_delay_us": ADMIT_X * service * 1e6,
+        "rows": rows,
+        "no_admission": no_admission,
+    }
+
+
+def check_gates(payload):
+    """The graceful-degradation assertions shared by full and smoke runs."""
+    rows = payload["rows"]
+    for row in rows:
+        if row["load_factor"] <= 0.75:
+            assert row["compliant_fraction"] >= LOW_LOAD_MIN_COMPLIANT, (
+                f"load {row['load_factor']}x should be comfortably "
+                f"compliant, got {row['compliant_fraction']:.3f}"
+            )
+        if row["load_factor"] >= 1.5:
+            # graceful degradation: admission control keeps the
+            # compliant fraction near capacity/offered, not collapsing
+            assert row["compliant_fraction"] >= OVERLOAD_MIN_COMPLIANT, (
+                f"load {row['load_factor']}x collapsed to "
+                f"{row['compliant_fraction']:.3f} compliant"
+            )
+            assert row["breach_events"] >= 1, (
+                "sustained overload must raise SLO breach events"
+            )
+    overloaded = [r for r in rows if r["load_factor"] >= 1.5]
+    raw = payload["no_admission"]
+    adm = next(r for r in overloaded if r["load_factor"] == 1.5)
+    # without admission the backlog grows without bound and almost every
+    # request blows the latency SLO — the collapse the admission leg avoids
+    assert raw["compliant_fraction"] < 0.5 * adm["compliant_fraction"], (
+        f"no-admission leg at 1.5x should collapse: "
+        f"{raw['compliant_fraction']:.3f} vs admission "
+        f"{adm['compliant_fraction']:.3f}"
+    )
+    # served requests stayed fast: the p99 of *served* latency under
+    # admission is bounded by the admission budget plus service
+    assert adm["p99_us"] <= payload["slo_latency_us"] * 1.05
+
+
+def test_overload_gate():
+    """Fixture-free CI gate: sweep, assert degradation, write the JSON."""
+    payload = run_sweep()
+    path = os.path.join(os.path.dirname(__file__), "BENCH_overload.json")
+    import json
+
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    check_gates(payload)
+
+
+@pytest.mark.skipif(SMOKE, reason="smoke mode runs only the gate test")
+def test_overload_sweep(once, bench_json):
+    """The full sweep under pytest-benchmark, printing the curve."""
+    payload = once(run_sweep)
+    bench_json("overload", payload)
+    check_gates(payload)
+
+    from conftest import print_table
+
+    print_table(
+        "open-loop overload sweep (Poisson arrivals, admission control)",
+        ["load", "offered", "served", "shed", "compliant", "p50 us",
+         "p99 us", "p999 us"],
+        [[f"{r['load_factor']:g}x", str(r["offered"]), str(r["served"]),
+          str(r["shed"]), f"{r['compliant_fraction']:.3f}",
+          f"{r['p50_us']:.1f}", f"{r['p99_us']:.1f}",
+          f"{r['p999_us']:.1f}"]
+         for r in payload["rows"]],
+    )
+    raw = payload["no_admission"]
+    print(f"no admission @1.5x: compliant "
+          f"{raw['compliant_fraction']:.3f}, p99 {raw['p99_us']:.1f} us "
+          f"(vs {payload['slo_latency_us']:.1f} us SLO)")

@@ -142,11 +142,27 @@ def _cmd_top(args: argparse.Namespace) -> int:
     from repro.telemetry.exporters import TraceFormatError
 
     try:
-        print(run_top(args.trace))
+        print(run_top(args.trace, percentiles=args.percentiles,
+                      vm=args.vm))
     except TraceFormatError as err:
         print(f"cava: {err}", file=sys.stderr)
         return 2
     return 0
+
+
+def _cmd_slo(args: argparse.Namespace) -> int:
+    from repro.telemetry.cli import run_slo
+    from repro.telemetry.exporters import TraceFormatError
+    from repro.telemetry.slo import SLOError
+
+    try:
+        code, output = run_slo(args.targets, trace=args.trace,
+                               bench=args.bench, as_json=args.json)
+    except (SLOError, TraceFormatError, ValueError, KeyError) as err:
+        print(f"cava: {err}", file=sys.stderr)
+        return 2
+    print(output)
+    return code
 
 
 def _cmd_chaos(args: argparse.Namespace) -> int:
@@ -279,7 +295,27 @@ def build_parser() -> argparse.ArgumentParser:
         "top", help="per-VM telemetry summary from a trace file"
     )
     top.add_argument("trace", help="Perfetto JSON or JSONL trace file")
+    top.add_argument("--percentiles", action="store_true",
+                     help="add p50/p99/p999 columns from the merged "
+                          "per-VM latency histograms")
+    top.add_argument("--vm", help="restrict to one VM")
     top.set_defaults(func=_cmd_top)
+
+    slo = sub.add_parser(
+        "slo", help="evaluate a trace or BENCH_overload.json against an "
+                    "SLO target file (docs/observability.md); exits "
+                    "nonzero on breach",
+    )
+    slo.add_argument("targets", help="JSON SLO target file")
+    slo.add_argument("--trace",
+                     help="trace file to replay through burn-rate "
+                          "monitoring")
+    slo.add_argument("--bench",
+                     help="BENCH_overload.json to check against the "
+                          "target file's bench_gates")
+    slo.add_argument("--json", action="store_true",
+                     help="machine-readable report")
+    slo.set_defaults(func=_cmd_slo)
 
     chaos = sub.add_parser(
         "chaos", help="fault-injection smoke run over a real workload"

@@ -23,6 +23,7 @@ from repro.guest.driver import GuestDriver
 from repro.remoting.buffers import OutBox, read_bytes, write_back
 from repro.remoting.codec import Command, CommandBatch, Reply
 from repro.remoting.xfercache import TransferCache
+from repro.telemetry import flightrec as _flightrec
 from repro.telemetry import tracer as _tele
 
 
@@ -639,6 +640,14 @@ class GuestRuntime:
             result = self.driver.transport.deliver_batch(batch, clock.now)
         if result.timed_out:
             self.giveups += 1
+            recorder = _flightrec.active()
+            if recorder.enabled:
+                recorder.incident(
+                    "giveup", now=clock.now,
+                    vm_id=self.driver.vm_id, api=self.api_name,
+                    what="batch",
+                    seq=batch.commands[0].seq if batch.commands else -1,
+                )
         return result
 
     def _batch_need_bytes(self, batch: CommandBatch, staged: List[Any],
@@ -720,6 +729,13 @@ class GuestRuntime:
             self.giveups += 1
             if span is not None:
                 span.attrs["gave_up_after"] = policy.max_retries
+            recorder = _flightrec.active()
+            if recorder.enabled:
+                recorder.incident(
+                    "giveup", now=clock.now,
+                    vm_id=self.driver.vm_id, api=self.api_name,
+                    function=command.function, seq=command.seq,
+                )
         return result
 
     # -- reply handling ---------------------------------------------------------

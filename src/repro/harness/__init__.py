@@ -8,15 +8,33 @@ from repro.harness.runner import (
     run_native_mvnc,
     run_virtualized,
 )
+from repro.harness.loadgen import (
+    AdmissionControl,
+    BurstyArrivals,
+    DiurnalArrivals,
+    LoadgenError,
+    LoadgenResult,
+    PoissonArrivals,
+    TraceArrivals,
+    run_open_loop,
+)
 from repro.harness.report import format_figure5, format_table
 
 __all__ = [
+    "AdmissionControl",
+    "BurstyArrivals",
+    "DiurnalArrivals",
     "FigureFiveRow",
+    "LoadgenError",
+    "LoadgenResult",
     "Measurement",
+    "PoissonArrivals",
+    "TraceArrivals",
     "format_figure5",
     "format_table",
     "run_figure5",
     "run_native_mvnc",
     "run_native_opencl",
+    "run_open_loop",
     "run_virtualized",
 ]

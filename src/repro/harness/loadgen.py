@@ -1,0 +1,275 @@
+"""Open-loop load generation over the virtual clock.
+
+Every benchmark in the seed is **closed-loop**: the next request is
+issued only after the previous one returns, so the system can never
+fall behind and queueing-driven tail latency is structurally
+invisible.  Real accelerator tenants are **open-loop** — arrivals come
+from the outside world at their own pace, and when the service is
+slower than the arrival process, latency grows with the backlog.
+
+This module generates arrival *timestamps* on the virtual timeline and
+drives a guest session through them:
+
+* the guest is idle until the next arrival (``advance_to(t, "idle")``),
+* when the clock has run *ahead* of an arrival, the difference is
+  exactly the request's queueing delay — the request waited while
+  earlier work finished,
+* a request's latency is its completion time minus its **arrival**
+  time (queueing + service), which is what an external client sees.
+
+Arrival processes (all seeded, all deterministic):
+
+* :class:`PoissonArrivals` — memoryless open-loop traffic,
+* :class:`BurstyArrivals` — a two-state Markov-modulated Poisson
+  process (calm/burst), the classic on-off burstiness model,
+* :class:`DiurnalArrivals` — sinusoidally-modulated rate (thinning),
+  a compressed day/night cycle,
+* :class:`TraceArrivals` — replay of explicit arrival timestamps
+  (recorded traffic, adversarial patterns).
+
+:func:`run_open_loop` optionally applies **admission control**: a
+request whose queueing delay already exceeds ``max_queue_delay`` is
+shed *before* touching the device, the mechanism that turns overload
+collapse (every request slow) into graceful degradation (shed requests
+fail fast, admitted requests stay within latency targets).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from repro.telemetry.metrics import LatencyHistogram
+
+
+class LoadgenError(Exception):
+    """Invalid arrival-process parameters."""
+
+
+class PoissonArrivals:
+    """Memoryless arrivals at ``rate`` requests per virtual second."""
+
+    def __init__(self, rate: float, seed: int = 0) -> None:
+        if rate <= 0:
+            raise LoadgenError(f"rate must be positive, got {rate}")
+        self.rate = rate
+        self.seed = seed
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        rng = random.Random(self.seed)
+        result: List[float] = []
+        at = start
+        for _ in range(count):
+            at += rng.expovariate(self.rate)
+            result.append(at)
+        return result
+
+
+class BurstyArrivals:
+    """A two-state MMPP: calm stretches punctuated by bursts.
+
+    The process alternates between a *calm* state (``rate``) and a
+    *burst* state (``burst_rate``), with exponentially distributed
+    state holding times (``mean_calm``/``mean_burst`` virtual
+    seconds).  Within a state, arrivals are Poisson at that state's
+    rate.
+    """
+
+    def __init__(self, rate: float, burst_rate: float,
+                 mean_calm: float, mean_burst: float,
+                 seed: int = 0) -> None:
+        if rate <= 0 or burst_rate <= 0:
+            raise LoadgenError("rates must be positive")
+        if mean_calm <= 0 or mean_burst <= 0:
+            raise LoadgenError("state holding times must be positive")
+        self.rate = rate
+        self.burst_rate = burst_rate
+        self.mean_calm = mean_calm
+        self.mean_burst = mean_burst
+        self.seed = seed
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        rng = random.Random(self.seed)
+        result: List[float] = []
+        at = start
+        bursting = False
+        # end of the current state's holding time
+        switch_at = at + rng.expovariate(1.0 / self.mean_calm)
+        while len(result) < count:
+            rate = self.burst_rate if bursting else self.rate
+            gap = rng.expovariate(rate)
+            if at + gap >= switch_at:
+                # the state flipped before this arrival materialized;
+                # memorylessness lets us restart the draw at the switch
+                at = switch_at
+                bursting = not bursting
+                mean = self.mean_burst if bursting else self.mean_calm
+                switch_at = at + rng.expovariate(1.0 / mean)
+                continue
+            at += gap
+            result.append(at)
+        return result
+
+
+class DiurnalArrivals:
+    """Sinusoidally modulated arrivals (a compressed day/night cycle).
+
+    Instantaneous rate: ``rate * (1 + amplitude*sin(2*pi*t/period))``,
+    realized by thinning a Poisson process at the peak rate —
+    the standard exact method for nonhomogeneous Poisson processes.
+    """
+
+    def __init__(self, rate: float, period: float,
+                 amplitude: float = 0.5, seed: int = 0) -> None:
+        if rate <= 0 or period <= 0:
+            raise LoadgenError("rate and period must be positive")
+        if not 0.0 <= amplitude < 1.0:
+            raise LoadgenError(
+                f"amplitude must be in [0, 1), got {amplitude}"
+            )
+        self.rate = rate
+        self.period = period
+        self.amplitude = amplitude
+        self.seed = seed
+
+    def rate_at(self, t: float) -> float:
+        return self.rate * (
+            1.0 + self.amplitude * math.sin(2.0 * math.pi * t / self.period)
+        )
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        rng = random.Random(self.seed)
+        peak = self.rate * (1.0 + self.amplitude)
+        result: List[float] = []
+        at = start
+        while len(result) < count:
+            at += rng.expovariate(peak)
+            if rng.random() <= self.rate_at(at) / peak:
+                result.append(at)
+        return result
+
+
+class TraceArrivals:
+    """Replay explicit arrival timestamps (must be sorted)."""
+
+    def __init__(self, timestamps: Iterable[float]) -> None:
+        self.timestamps = list(timestamps)
+        if any(b < a for a, b in zip(self.timestamps,
+                                     self.timestamps[1:])):
+            raise LoadgenError("arrival trace must be sorted")
+
+    def times(self, count: int, start: float = 0.0) -> List[float]:
+        if count > len(self.timestamps):
+            raise LoadgenError(
+                f"trace has {len(self.timestamps)} arrivals, "
+                f"{count} requested"
+            )
+        return [start + t for t in self.timestamps[:count]]
+
+
+@dataclass
+class AdmissionControl:
+    """Shed requests already doomed by queueing delay.
+
+    A request that has waited longer than ``max_queue_delay`` before
+    the guest could even issue it is dropped (counted, not executed):
+    under sustained overload this caps the backlog each admitted
+    request sits behind, keeping *served* latency bounded while the
+    shed fraction absorbs the excess load.
+    """
+
+    max_queue_delay: float
+
+    def admit(self, queue_delay: float) -> bool:
+        return queue_delay <= self.max_queue_delay
+
+
+@dataclass
+class LoadgenResult:
+    """Outcome of one open-loop run."""
+
+    offered: int = 0
+    served: int = 0
+    shed: int = 0
+    errors: int = 0
+    #: arrival-to-completion latency of served requests
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
+    #: SLO latency threshold the compliant count was judged against
+    slo_latency: Optional[float] = None
+    #: served within the threshold (all served, when no threshold)
+    compliant: int = 0
+
+    @property
+    def compliant_fraction(self) -> float:
+        """Fraction of *offered* requests that met the SLO.
+
+        Shed and failed requests are non-compliant by definition —
+        from the client's perspective they did not get service.
+        """
+        return self.compliant / self.offered if self.offered else 1.0
+
+    @property
+    def served_fraction(self) -> float:
+        return self.served / self.offered if self.offered else 1.0
+
+    def percentiles(self, qs: Iterable[float] = (0.5, 0.99, 0.999)
+                    ) -> Dict[str, float]:
+        return {f"p{q * 100:g}".replace(".", "_"): self.latency.quantile(q)
+                for q in qs}
+
+
+def run_open_loop(
+    session: Any,
+    request: Callable[[Any], Any],
+    arrivals: Any,
+    count: int,
+    admission: Optional[AdmissionControl] = None,
+    slo_latency: Optional[float] = None,
+    slo_monitor: Optional[Any] = None,
+    start: Optional[float] = None,
+) -> LoadgenResult:
+    """Drive ``count`` open-loop requests through a guest session.
+
+    ``request(session)`` issues one complete request (it should block
+    until the result is back, i.e. end with a synchronous call); its
+    return value is the API status — 0/None counts as success.
+    ``arrivals`` is any object with ``times(count, start)``.
+    ``slo_monitor`` — an optional
+    :class:`~repro.telemetry.slo.SLOMonitor` fed client-perceived
+    latencies (as opposed to the router's server-side view).
+    """
+    clock = session.clock
+    result = LoadgenResult(slo_latency=slo_latency)
+    if start is None:
+        start = clock.now
+    for arrival in arrivals.times(count, start=start):
+        result.offered += 1
+        if clock.now < arrival:
+            clock.advance_to(arrival, "idle")
+        queue_delay = clock.now - arrival
+        if admission is not None and not admission.admit(queue_delay):
+            result.shed += 1
+            if slo_monitor is not None:
+                slo_monitor.record(
+                    vm_id=session.vm_id, function="<shed>",
+                    latency=queue_delay, error=True, now=clock.now,
+                )
+            continue
+        status = request(session)
+        latency = clock.now - arrival
+        failed = status not in (None, 0)
+        if failed:
+            result.errors += 1
+        else:
+            result.served += 1
+            result.latency.record(latency)
+            if slo_latency is None or latency <= slo_latency:
+                result.compliant += 1
+        if slo_monitor is not None:
+            slo_monitor.record(
+                vm_id=session.vm_id, function="<request>",
+                latency=latency, error=failed, now=clock.now,
+            )
+    return result

@@ -14,6 +14,7 @@ from typing import Any, Callable, ContextManager, Dict, Optional, Tuple
 
 from repro.faults.errors import WorkerLost
 from repro.faults.plan import FaultPlan
+from repro.telemetry import flightrec
 from repro.faults.transport import FaultyTransport
 from repro.hypervisor.policy import RateLimiter, ResourcePolicy
 from repro.hypervisor.router import Router, RoutingTable
@@ -81,6 +82,8 @@ class Hypervisor:
         self._retry_policy: Optional[Any] = None
         #: (vm_id, api) → crash reason, until restart_worker() clears it
         self.lost_workers: Dict[Tuple[str, str], str] = {}
+        #: optional SLO monitor observing routed replies (None = off)
+        self.slo_monitor: Optional[Any] = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -112,6 +115,18 @@ class Hypervisor:
                 )
             vm.set_retry_policy(policy)
         self._retry_policy = policy
+
+    def install_slo(self, monitor: Any) -> None:
+        """Point the router's reply path at an SLO monitor.
+
+        The monitor observes every routed reply (completion time, error
+        flag) and evaluates burn rates on the virtual clock; breaches
+        surface through :meth:`admin_report` and any callbacks the
+        monitor carries.  Observation only — routing costs are
+        unchanged, so runs without a monitor stay bit-identical.
+        """
+        self.slo_monitor = monitor
+        self.router.slo_monitor = monitor
 
     def create_vm(self, vm_id: str, transport: str = "inproc",
                   batch_policy: Optional[Any] = None,
@@ -196,6 +211,13 @@ class Hypervisor:
         if worker is not None:
             worker.crash(reason)
         self.lost_workers[key] = reason
+        recorder = flightrec.active()
+        if recorder.enabled:
+            recorder.incident(
+                "worker-crashed",
+                now=worker.clock.now if worker is not None else 0.0,
+                vm_id=vm_id, api=api_name, why=reason,
+            )
         # cached payloads lived in the dead server's address space:
         # refs into them must miss, never resolve to stale state
         store = self.xfer_stores.get(vm_id)
@@ -295,4 +317,12 @@ class Hypervisor:
                     "bytes_elided": metrics.xfer_bytes_elided,
                     "store": store.snapshot(),
                 }
+        if self.slo_monitor is not None:
+            breaches = self.slo_monitor.breaches_by_vm()
+            for vm_id in report:
+                report[vm_id]["slo_breaches"] = breaches.get(vm_id, 0)
+            report["_slo"] = {
+                "targets": self.slo_monitor.summary(),
+                "breaches": len(self.slo_monitor.events),
+            }
         return report

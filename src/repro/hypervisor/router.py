@@ -30,6 +30,7 @@ from repro.remoting.codec import (
 )
 from repro.spec.expr import Evaluator, Expr
 from repro.spec.model import ApiSpec, RecordKind
+from repro.telemetry import flightrec as _flightrec
 from repro.telemetry import tracer as _tele
 
 
@@ -163,6 +164,9 @@ class Router:
         #: VM id (bounded: sources are hypervisor-created channels, not
         #: attacker-chosen bytes)
         self.breakers: Dict[str, BreakerState] = {}
+        #: optional SLO monitor fed every routed reply (observation
+        #: only — never touches scheduling or completion times)
+        self.slo_monitor: Optional[Any] = None
 
     # -- configuration -------------------------------------------------------
 
@@ -454,6 +458,8 @@ class Router:
         if answered is not None:
             return answered
         reply = self._route(message, arrival)
+        if self.slo_monitor is not None:
+            self._observe(message, arrival, reply)
         try:
             return encode_message(reply)
         except CodecError as err:
@@ -499,6 +505,8 @@ class Router:
             # commands after the first pay the cheaper batched dispatch
             reply = self._route(command, at, batched=index > 0)
             replies.append(reply)
+            if self.slo_monitor is not None:
+                self._observe(command, at, reply)
             # program order within the VM: the next command is released
             # no earlier than this one completed
             at = max(at, reply.complete_time)
@@ -612,6 +620,25 @@ class Router:
             if self.on_worker_lost is not None:
                 self.on_worker_lost(command.vm_id, command.api, str(err))
             return self._server_lost_reply(command, release, str(err))
+
+    def _observe(self, command: Command, arrival: float,
+                 reply: Reply) -> None:
+        """Feed one routed reply to the SLO monitor (and the flight
+        recorder, when one is installed) — pure observation, nothing
+        about routing or timing changes."""
+        latency = max(0.0, reply.complete_time - arrival)
+        error = reply.error is not None
+        self.slo_monitor.record(
+            vm_id=command.vm_id, function=command.function,
+            latency=latency, error=error, now=reply.complete_time,
+        )
+        recorder = _flightrec.active()
+        if recorder.enabled:
+            recorder.note(
+                "router.reply", now=reply.complete_time,
+                vm=command.vm_id, function=command.function,
+                latency=latency, error=reply.error,
+            )
 
     def _server_lost_reply(self, command: Command, release: float,
                            reason: str) -> Reply:

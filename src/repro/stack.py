@@ -246,6 +246,9 @@ class VirtualStack:
                            retry_policy: Optional[Any] = None) -> None:
         self.hypervisor.install_fault_plan(plan, retry_policy)
 
+    def install_slo(self, monitor: Any) -> None:
+        self.hypervisor.install_slo(monitor)
+
     @property
     def router(self):
         return self.hypervisor.router

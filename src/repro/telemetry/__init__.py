@@ -1,9 +1,13 @@
-"""Stack-wide tracing and metrics keyed to the virtual clock.
+"""Stack-wide tracing, metrics and SLOs keyed to the virtual clock.
 
 See :mod:`repro.telemetry.tracer` for the span model and taxonomy,
-:mod:`repro.telemetry.metrics` for derived counters/histograms, and
-:mod:`repro.telemetry.exporters` for the Perfetto/JSONL formats the
-``cava trace`` and ``cava top`` subcommands replay.
+:mod:`repro.telemetry.metrics` for derived counters/histograms,
+:mod:`repro.telemetry.histogram` for the streaming log-bucketed
+histogram underneath them, :mod:`repro.telemetry.slo` for burn-rate
+SLO monitoring, :mod:`repro.telemetry.flightrec` for the post-mortem
+flight recorder, and :mod:`repro.telemetry.exporters` for the
+Perfetto/JSONL formats the ``cava trace``, ``cava top`` and
+``cava slo`` subcommands replay.
 
 Quick use::
 
@@ -44,6 +48,18 @@ from repro.telemetry.exporters import (
     write_jsonl,
     write_perfetto,
 )
+from repro.telemetry.histogram import HistogramError, LogHistogram
+from repro.telemetry.slo import (
+    BreachEvent,
+    BurnRateWindow,
+    SLOError,
+    SLOMonitor,
+    SLOTarget,
+    evaluate_trace,
+    load_slo_targets,
+    parse_slo_targets,
+)
+from repro.telemetry.flightrec import FlightRecorder, read_dump
 
 __all__ = [
     "LAYERS",
@@ -68,4 +84,16 @@ __all__ = [
     "spans_from_perfetto",
     "write_jsonl",
     "write_perfetto",
+    "HistogramError",
+    "LogHistogram",
+    "BreachEvent",
+    "BurnRateWindow",
+    "SLOError",
+    "SLOMonitor",
+    "SLOTarget",
+    "evaluate_trace",
+    "load_slo_targets",
+    "parse_slo_targets",
+    "FlightRecorder",
+    "read_dump",
 ]

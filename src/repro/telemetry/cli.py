@@ -1,23 +1,32 @@
-"""``cava trace`` / ``cava top`` — replay a trace file into tables.
+"""``cava trace`` / ``cava top`` / ``cava slo`` — trace-file tooling.
 
-Both subcommands consume a trace written by the exporters (Perfetto
-JSON or JSONL, auto-detected) and render aligned text tables through
-the same formatter the benchmark harness uses:
+``trace`` and ``top`` consume a trace written by the exporters
+(Perfetto JSON or JSONL, auto-detected) and render aligned text tables
+through the same formatter the benchmark harness uses:
 
 * ``cava trace``  — per-VM, per-function breakdown: call counts, total
   and mean/p95 latency, and where the time went by layer (guest /
   transport / router / server / device self-time percentages).
 * ``cava top``    — one row per VM: commands, errors, total virtual
-  time and the per-layer split, plus the busiest function.
+  time and the per-layer split, plus the busiest function; optional
+  p50/p99/p999 columns from the merged per-VM histograms.
+* ``cava slo``    — evaluate a trace (burn-rate replay) or a
+  ``BENCH_overload.json`` (compliance gates) against an SLO target
+  file; exits nonzero on breach, for CI gating.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import json
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.harness.report import format_table
 from repro.telemetry.exporters import load_trace
-from repro.telemetry.metrics import MetricsRegistry, breakdown
+from repro.telemetry.metrics import (
+    LatencyHistogram,
+    MetricsRegistry,
+    breakdown,
+)
 from repro.telemetry.tracer import LAYERS, Span
 
 
@@ -85,8 +94,15 @@ def run_trace(
     return "\n".join(lines)
 
 
-def run_top(path: str) -> str:
-    """The per-VM telemetry summary table for one trace file."""
+def run_top(path: str, percentiles: bool = False,
+            vm: Optional[str] = None) -> str:
+    """The per-VM telemetry summary table for one trace file.
+
+    ``percentiles`` adds p50/p99/p999 latency columns computed from
+    each VM's per-function histograms *merged* into one distribution
+    (exact bucket merge — see :mod:`repro.telemetry.histogram`);
+    ``vm`` filters to a single VM id.
+    """
     spans = load_trace(path)
     if not spans:
         return f"(no spans in {path})"
@@ -95,6 +111,8 @@ def run_top(path: str) -> str:
 
     rows = []
     for vm_id in sorted(registry.vms, key=lambda v: -registry.vms[v].total_time):
+        if vm is not None and vm_id != vm:
+            continue
         telemetry = registry.vms[vm_id]
         total = telemetry.total_time
         busiest = max(
@@ -105,18 +123,170 @@ def run_top(path: str) -> str:
         layer_time = {
             layer: per_layer.get((vm_id, layer), 0.0) for layer in LAYERS
         }
-        rows.append([
+        row = [
             vm_id,
             str(telemetry.calls),
             str(telemetry.errors),
             _us(total),
-        ] + _layer_columns(total, layer_time) + [
+        ]
+        if percentiles:
+            merged = LatencyHistogram.merged(
+                f.latency for f in telemetry.functions.values()
+            )
+            row += [
+                _us(merged.quantile(0.5)),
+                _us(merged.quantile(0.99)),
+                _us(merged.quantile(0.999)),
+            ]
+        rows.append(row + _layer_columns(total, layer_time) + [
             busiest.function if busiest is not None else "-",
         ])
+    if vm is not None and not rows:
+        return f"(no spans for VM {vm!r} in {path})"
+    headers = ["vm", "calls", "errs", "total us"]
+    if percentiles:
+        headers += ["p50 us", "p99 us", "p999 us"]
     table = format_table(
-        ["vm", "calls", "errs", "total us"] + list(LAYERS) + ["top function"],
+        headers + list(LAYERS) + ["top function"],
         rows,
     )
-    vms = len(registry.vms)
+    vms = len(registry.vms) if vm is None else len(rows)
     lines = [f"trace: {path} — {len(spans)} spans, {vms} VM(s)", "", table]
     return "\n".join(lines)
+
+
+def _slo_trace_result(targets_path: str, trace_path: str) -> Dict[str, Any]:
+    from repro.telemetry.slo import evaluate_trace, load_slo_targets
+
+    targets = load_slo_targets(targets_path)
+    spans = load_trace(trace_path)
+    monitor = evaluate_trace(spans, targets)
+    rows = monitor.summary()
+    breached = monitor.breached or any(not r["compliant"] for r in rows)
+    return {
+        "mode": "trace",
+        "targets_file": targets_path,
+        "trace": trace_path,
+        "spans": len(spans),
+        "breaches": len(monitor.events),
+        "targets": rows,
+        "breached": breached,
+        "events": [
+            {
+                "time": e.time,
+                "target": e.target,
+                "vm": e.vm_id,
+                "burn_long": e.burn_long,
+                "burn_short": e.burn_short,
+                "long_window": e.window.long_window,
+                "short_window": e.window.short_window,
+                "max_burn_rate": e.window.max_burn_rate,
+            }
+            for e in monitor.events
+        ],
+    }
+
+
+def _slo_bench_result(targets_path: str, bench_path: str) -> Dict[str, Any]:
+    from repro.telemetry.slo import SLOError
+
+    with open(targets_path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    gates = spec.get("bench_gates")
+    if not isinstance(gates, list) or not gates:
+        raise SLOError(
+            f'{targets_path}: no "bench_gates" list to gate a bench run'
+        )
+    with open(bench_path, "r", encoding="utf-8") as handle:
+        bench = json.load(handle)
+    rows = bench.get("rows", [])
+    checks: List[Dict[str, Any]] = []
+    for gate in gates:
+        min_load = float(gate.get("min_load", 0.0))
+        max_load = float(gate.get("max_load", float("inf")))
+        threshold = float(gate["min_compliant_fraction"])
+        matched = [r for r in rows
+                   if min_load <= float(r["load_factor"]) <= max_load]
+        worst = min(
+            (float(r["compliant_fraction"]) for r in matched),
+            default=None,
+        )
+        checks.append({
+            "min_load": min_load,
+            "max_load": max_load if max_load != float("inf") else None,
+            "min_compliant_fraction": threshold,
+            "rows_matched": len(matched),
+            "worst_compliant_fraction": worst,
+            # a gate that matches no rows fails: it was written against
+            # a sweep that no longer produces those loads
+            "pass": worst is not None and worst >= threshold,
+        })
+    return {
+        "mode": "bench",
+        "targets_file": targets_path,
+        "bench": bench_path,
+        "gates": checks,
+        "breached": any(not c["pass"] for c in checks),
+    }
+
+
+def run_slo(
+    targets_path: str,
+    trace: Optional[str] = None,
+    bench: Optional[str] = None,
+    as_json: bool = False,
+) -> Tuple[int, str]:
+    """``cava slo``: evaluate a trace or bench output against targets.
+
+    Returns ``(exit_code, output)`` — 0 when every target holds, 1 on
+    breach, matching the CI-gating contract.
+    """
+    if (trace is None) == (bench is None):
+        raise ValueError("pass exactly one of --trace / --bench")
+    if trace is not None:
+        result = _slo_trace_result(targets_path, trace)
+    else:
+        result = _slo_bench_result(targets_path, bench)
+    code = 1 if result["breached"] else 0
+    if as_json:
+        return code, json.dumps(result, indent=2, sort_keys=True)
+    lines: List[str] = []
+    if result["mode"] == "trace":
+        lines.append(
+            f"slo: {result['trace']} vs {result['targets_file']} — "
+            f"{result['spans']} spans, {result['breaches']} breach "
+            f"event(s)"
+        )
+        if result["targets"]:
+            lines.append("")
+            lines.append(format_table(
+                ["target", "vm", "objective", "good/total", "fraction",
+                 "breaches", "status"],
+                [[r["target"], r["vm"], f"{r['objective']:g}",
+                  f"{r['good']}/{r['total']}",
+                  f"{r['good_fraction']:.4f}",
+                  str(r["breaches"]),
+                  "ok" if r["compliant"] and not r["breaches"]
+                  else "BREACH"]
+                 for r in result["targets"]],
+            ))
+    else:
+        lines.append(
+            f"slo: {result['bench']} vs {result['targets_file']}"
+        )
+        lines.append("")
+        lines.append(format_table(
+            ["load >=", "load <=", "min fraction", "rows", "worst",
+             "status"],
+            [[f"{c['min_load']:g}",
+              "-" if c["max_load"] is None else f"{c['max_load']:g}",
+              f"{c['min_compliant_fraction']:g}",
+              str(c["rows_matched"]),
+              "-" if c["worst_compliant_fraction"] is None
+              else f"{c['worst_compliant_fraction']:.4f}",
+              "ok" if c["pass"] else "FAIL"]
+             for c in result["gates"]],
+        ))
+    lines.append("")
+    lines.append("SLO BREACH" if code else "SLO ok")
+    return code, "\n".join(lines)

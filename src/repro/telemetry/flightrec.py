@@ -1,0 +1,182 @@
+"""A bounded flight recorder for post-mortem dumps.
+
+Full tracing answers "where did the time go" but costs memory
+proportional to the run; production stacks instead keep a small
+always-on **flight recorder** — a bounded ring of the most recent
+completed operations — and dump it when something goes wrong.  Here
+"goes wrong" means an SLO breach (:mod:`repro.telemetry.slo`), a
+worker crash (``WorkerCrashed`` surfacing through the hypervisor's
+containment path), or a guest runtime giving up on a request after
+exhausting its retry budget.
+
+The default is the no-op singleton :data:`NOOP` (``enabled`` False):
+hook sites pay a single attribute check, so runs without a recorder
+installed are untouched — including bit-identical virtual-time
+results.  Install a real :class:`FlightRecorder` with :func:`install`
+or :func:`record` (context manager), and optionally attach it to a
+tracer (``tracer.add_sink(recorder)``) so completed spans populate the
+ring; layers without tracing feed it directly via :meth:`note`.
+
+Dump format: one JSON object per line (JSONL).  The first line is a
+header (``{"flightrec": 1, "reason": ..., "time": ..., ...}``); every
+further line is one ring entry, oldest first, with at least ``time``,
+``kind`` and ``what`` fields plus whatever structured context the hook
+site attached.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+from collections import deque
+from typing import Any, Deque, Dict, Iterator, List, Optional
+
+#: ring capacity: enough tail to see what led up to an incident,
+#: small enough that an always-on recorder stays cheap
+DEFAULT_CAPACITY = 1024
+
+
+class NoopFlightRecorder:
+    """The zero-cost default: every operation is a no-op."""
+
+    enabled = False
+
+    def ingest(self, span: Any) -> None:
+        return None
+
+    def note(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def incident(self, *args: Any, **kwargs: Any) -> Optional[str]:
+        return None
+
+    def entries(self) -> List[Dict[str, Any]]:
+        return []
+
+
+#: the process-wide no-op recorder
+NOOP = NoopFlightRecorder()
+
+
+class FlightRecorder:
+    """A bounded ring of recent events, dumped to JSONL on incident.
+
+    ``out_dir`` — where incident dumps land (created on first dump);
+    ``capacity`` — ring size in entries.
+    """
+
+    enabled = True
+
+    def __init__(self, out_dir: str = ".",
+                 capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.out_dir = out_dir
+        self.capacity = capacity
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=capacity)
+        #: paths of dumps written, in order
+        self.dumps: List[str] = []
+        self._incidents = 0
+
+    # -- feeding the ring ----------------------------------------------------
+
+    def ingest(self, span: Any) -> None:
+        """Tracer-sink entry point: fold one completed span in."""
+        entry: Dict[str, Any] = {
+            "time": span.end,
+            "kind": "span",
+            "what": span.name,
+            "layer": span.layer,
+            "vm": span.vm_id,
+            "function": span.function,
+            "duration": span.duration,
+        }
+        if span.attrs:
+            entry["attrs"] = dict(span.attrs)
+        self._ring.append(entry)
+
+    def note(self, what: str, now: float, **fields: Any) -> None:
+        """Record a non-span event (request completion, shed, retry)."""
+        entry = {"time": now, "kind": "note", "what": what}
+        entry.update(fields)
+        self._ring.append(entry)
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """The current ring contents, oldest first."""
+        return list(self._ring)
+
+    # -- incidents -----------------------------------------------------------
+
+    def incident(self, reason: str, now: float, **fields: Any) -> str:
+        """Dump the ring to a JSONL post-mortem file; returns its path.
+
+        The ring is *not* cleared: consecutive incidents (a crash storm)
+        each capture their own trailing context.
+        """
+        self._incidents += 1
+        slug = "".join(
+            c if c.isalnum() or c == "-" else "-" for c in reason
+        ).strip("-") or "incident"
+        filename = f"flightrec-{self._incidents:03d}-{slug}.jsonl"
+        path = os.path.join(self.out_dir, filename)
+        os.makedirs(self.out_dir, exist_ok=True)
+        header: Dict[str, Any] = {
+            "flightrec": 1,
+            "reason": reason,
+            "time": now,
+            "entries": len(self._ring),
+        }
+        header.update(fields)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            for entry in self._ring:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        self.dumps.append(path)
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FlightRecorder(entries={len(self._ring)}, "
+                f"dumps={len(self.dumps)})")
+
+
+def read_dump(path: str) -> Dict[str, Any]:
+    """Parse a flight-recorder dump into ``{"header": ..., "entries"}``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    if not lines or lines[0].get("flightrec") != 1:
+        raise ValueError(f"{path}: not a flight-recorder dump")
+    return {"header": lines[0], "entries": lines[1:]}
+
+
+# ---------------------------------------------------------------------------
+# the active recorder
+# ---------------------------------------------------------------------------
+
+_active: Any = NOOP
+
+
+def active() -> Any:
+    """The installed recorder (the no-op singleton by default)."""
+    return _active
+
+
+def install(recorder: Any = None) -> Any:
+    """Install ``recorder`` as active; returns the previous one.
+
+    Pass ``None`` to restore the no-op default.
+    """
+    global _active
+    previous = _active
+    _active = recorder if recorder is not None else NOOP
+    return previous
+
+
+@contextlib.contextmanager
+def record(recorder: Any) -> Iterator[Any]:
+    """Install ``recorder`` for the duration of a ``with`` block."""
+    previous = install(recorder)
+    try:
+        yield recorder
+    finally:
+        install(previous)

@@ -19,7 +19,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional
 
+from repro.telemetry.histogram import LogHistogram
 from repro.telemetry.tracer import Span
+
+#: raw samples kept per histogram before degrading to streaming-only;
+#: below this, quantiles are exact (interpolated), above it they come
+#: from the log-bucketed histogram within its documented error bound
+EXACT_SAMPLE_LIMIT = 512
 
 
 def percentile(samples: List[float], q: float) -> float:
@@ -36,45 +42,115 @@ def percentile(samples: List[float], q: float) -> float:
     return ordered[low] * (1 - fraction) + ordered[high] * fraction
 
 
-@dataclass
-class LatencyHistogram:
-    """Latency samples with power-of-two microsecond bucketing."""
+def _pow2_us_label(seconds: float) -> str:
+    micros = seconds * 1e6
+    if micros <= 1.0:
+        return "<=1us"
+    exponent = math.ceil(math.log2(micros))
+    return f"<={2 ** exponent}us"
 
-    samples: List[float] = field(default_factory=list)
+
+class LatencyHistogram:
+    """A latency distribution: exact while small, streaming beyond.
+
+    Every sample is folded into a :class:`LogHistogram` (O(1),
+    bounded memory, exact ``merge`` across VMs/devices/functions).  The
+    first ``exact_limit`` raw samples are additionally kept verbatim so
+    small distributions answer quantiles exactly (linear interpolation,
+    the seed's convention); past the limit the raw list is dropped and
+    quantiles come from the log-bucketed histogram, within its
+    documented relative-error bound (see
+    :mod:`repro.telemetry.histogram`).
+    """
+
+    __slots__ = ("histogram", "samples", "exact_limit")
+
+    def __init__(self, exact_limit: int = EXACT_SAMPLE_LIMIT) -> None:
+        self.histogram = LogHistogram()
+        self.exact_limit = exact_limit
+        #: raw samples, or None once the exact path has been spilled
+        self.samples: Optional[List[float]] = []
 
     def record(self, seconds: float) -> None:
-        self.samples.append(seconds)
+        if seconds < 0.0:
+            seconds = 0.0
+        self.histogram.record(seconds)
+        if self.samples is not None:
+            self.samples.append(seconds)
+            if len(self.samples) > self.exact_limit:
+                self.samples = None
+
+    @property
+    def exact(self) -> bool:
+        """True while quantiles are computed from raw samples."""
+        return self.samples is not None
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self.histogram.count
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self.histogram.total
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.samples else 0.0
+        return self.histogram.mean
 
     @property
     def max(self) -> float:
-        return max(self.samples) if self.samples else 0.0
+        return self.histogram.max
 
     def quantile(self, q: float) -> float:
-        return percentile(self.samples, q)
+        if self.samples is not None:
+            return percentile(self.samples, q)
+        return self.histogram.quantile(q)
+
+    def merge(self, other: "LatencyHistogram") -> "LatencyHistogram":
+        """Fold ``other`` in; bucket counts merge exactly.  Returns self.
+
+        The exact path survives only while the combined sample count
+        stays within ``exact_limit``; otherwise the merged histogram
+        answers quantiles from the (exactly merged) bucket counts.
+        """
+        self.histogram.merge(other.histogram)
+        if (self.samples is not None and other.samples is not None
+                and len(self.samples) + len(other.samples)
+                <= self.exact_limit):
+            self.samples.extend(other.samples)
+        else:
+            self.samples = None
+        return self
+
+    @classmethod
+    def merged(
+        cls, histograms: Iterable["LatencyHistogram"]
+    ) -> "LatencyHistogram":
+        result = cls()
+        for histogram in histograms:
+            result.merge(histogram)
+        return result
 
     def buckets(self) -> Dict[str, int]:
-        """Counts per power-of-two microsecond bucket (``<=1us`` ...)."""
+        """Counts per power-of-two microsecond bucket (``<=1us`` ...).
+
+        Exact while raw samples are held; afterwards each log-bucket's
+        count lands in the power-of-two bucket of its representative
+        value (geometric midpoint) — same labels, bounded memory.
+        """
         counts: Dict[str, int] = {}
-        for seconds in self.samples:
-            micros = seconds * 1e6
-            if micros <= 1.0:
-                label = "<=1us"
-            else:
-                exponent = math.ceil(math.log2(micros))
-                label = f"<={2 ** exponent}us"
-            counts[label] = counts.get(label, 0) + 1
+        if self.samples is not None:
+            for seconds in self.samples:
+                label = _pow2_us_label(seconds)
+                counts[label] = counts.get(label, 0) + 1
+            return counts
+        log = self.histogram
+        if log.underflow:
+            counts["<=1us"] = log.underflow
+        for index in sorted(log.counts):
+            low, high = log._bucket_bounds(index)
+            label = _pow2_us_label(math.sqrt(low * high))
+            counts[label] = counts.get(label, 0) + log.counts[index]
         return counts
 
 
@@ -118,6 +194,8 @@ class VMTelemetry:
     xfer_hits: int = 0
     xfer_misses: int = 0
     xfer_bytes_elided: int = 0
+    #: SLO breach events attributed to this VM (absorbed from a monitor)
+    slo_breaches: int = 0
 
     def function_metrics(self, function: str) -> FunctionMetrics:
         entry = self.functions.get(function)
@@ -147,6 +225,18 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self.vms: Dict[str, VMTelemetry] = {}
+        # per-source counter snapshots: absorbing the same source twice
+        # adds only the delta since the previous absorption, so repeated
+        # admin_report() calls cannot double count (and sources whose
+        # counters keep growing between absorptions stay correct)
+        self._absorbed: Dict[Hashable, Dict[str, float]] = {}
+
+    def _delta(self, key: Hashable, current: Dict[str, float]
+               ) -> Dict[str, float]:
+        previous = self._absorbed.get(key, {})
+        self._absorbed[key] = current
+        return {name: value - previous.get(name, 0)
+                for name, value in current.items()}
 
     def vm(self, vm_id: str) -> VMTelemetry:
         entry = self.vms.get(vm_id)
@@ -190,33 +280,65 @@ class MetricsRegistry:
 
         This is what makes the registry a superset of the router's
         ad-hoc accounting: rejections, rate-limit delay, and resource
-        estimates land next to the span-derived counters.
+        estimates land next to the span-derived counters.  Absorption is
+        idempotent per source VM: repeated calls (two ``admin_report()``
+        invocations, say) fold in only what changed since the last one.
         """
         for vm_id, metrics in router_metrics.items():
             entry = self.vm(vm_id)
-            entry.rejected += metrics.rejected
-            entry.rate_delay += metrics.rate_delay
-            entry.server_lost += getattr(metrics, "server_lost", 0)
-            entry.xfer_hits += getattr(metrics, "xfer_hits", 0)
-            entry.xfer_misses += getattr(metrics, "xfer_misses", 0)
-            entry.xfer_bytes_elided += getattr(
-                metrics, "xfer_bytes_elided", 0
-            )
+            snapshot = {
+                "rejected": metrics.rejected,
+                "rate_delay": metrics.rate_delay,
+                "server_lost": getattr(metrics, "server_lost", 0),
+                "xfer_hits": getattr(metrics, "xfer_hits", 0),
+                "xfer_misses": getattr(metrics, "xfer_misses", 0),
+                "xfer_bytes_elided": getattr(
+                    metrics, "xfer_bytes_elided", 0
+                ),
+            }
             for resource, amount in metrics.resources.items():
-                entry.resources[resource] = (
-                    entry.resources.get(resource, 0.0) + amount
-                )
+                snapshot[f"resource:{resource}"] = amount
+            delta = self._delta(("router", vm_id), snapshot)
+            entry.rejected += int(delta["rejected"])
+            entry.rate_delay += delta["rate_delay"]
+            entry.server_lost += int(delta["server_lost"])
+            entry.xfer_hits += int(delta["xfer_hits"])
+            entry.xfer_misses += int(delta["xfer_misses"])
+            entry.xfer_bytes_elided += int(delta["xfer_bytes_elided"])
+            for name, amount in delta.items():
+                if name.startswith("resource:"):
+                    resource = name[len("resource:"):]
+                    entry.resources[resource] = (
+                        entry.resources.get(resource, 0.0) + amount
+                    )
 
     def absorb_runtime(self, vm_id: str, runtime: Any) -> None:
         """Fold one guest runtime's recovery counters into this registry.
 
         VM-level ``retries``/``giveups`` come from the runtimes (they
         exist with tracing off); per-function retry counts come from
-        ingested ``retry`` spans when tracing is on.
+        ingested ``retry`` spans when tracing is on.  Idempotent per
+        (VM, API) source, like :meth:`absorb_router`.
         """
         entry = self.vm(vm_id)
-        entry.retries += runtime.retries
-        entry.giveups += runtime.giveups
+        key = ("runtime", vm_id, getattr(runtime, "api_name", None))
+        delta = self._delta(key, {
+            "retries": runtime.retries,
+            "giveups": runtime.giveups,
+        })
+        entry.retries += int(delta["retries"])
+        entry.giveups += int(delta["giveups"])
+
+    def absorb_slo(self, monitor: Any) -> None:
+        """Fold an SLO monitor's per-VM breach counts into this registry.
+
+        Idempotent: repeated absorption of the same monitor adds only
+        breaches raised since the previous call.
+        """
+        for vm_id, breaches in monitor.breaches_by_vm().items():
+            entry = self.vm(vm_id)
+            delta = self._delta(("slo", vm_id), {"breaches": breaches})
+            entry.slo_breaches += int(delta["breaches"])
 
 
 # ---------------------------------------------------------------------------

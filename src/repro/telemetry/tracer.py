@@ -132,6 +132,12 @@ class Tracer:
         self._next_id = 1
         #: (vm_id, api_or_None) → container span
         self._containers: Dict[Tuple[str, Optional[str]], Span] = {}
+        #: extra consumers of completed spans (e.g. the flight recorder)
+        self._sinks: List[Any] = []
+
+    def add_sink(self, sink: Any) -> None:
+        """Feed every subsequently completed span to ``sink.ingest``."""
+        self._sinks.append(sink)
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -200,6 +206,8 @@ class Tracer:
         self.spans.append(span)
         if self.metrics is not None:
             self.metrics.ingest(span)
+        for sink in self._sinks:
+            sink.ingest(span)
         return span
 
     def record_span(

@@ -235,3 +235,45 @@ class TestCavaEffortAndVerifyCLI:
         )
         assert cava_main(["verify", str(bad)]) == 1
         assert "required outputs" in capsys.readouterr().out
+
+
+class TestCavaTopFlags:
+    @pytest.fixture(scope="class")
+    def trace_file(self, tmp_path_factory):
+        from repro.harness.runner import run_virtualized
+        from repro.telemetry import Tracer, write_jsonl
+        from repro.workloads import KMeansWorkload
+
+        tracer = Tracer()
+        run_virtualized(KMeansWorkload(scale=0.1), vm_id="vm-top",
+                        tracer=tracer)
+        path = tmp_path_factory.mktemp("traces") / "top.jsonl"
+        return write_jsonl(tracer.all_spans(), str(path))
+
+    def test_top_percentiles_columns(self, trace_file, capsys):
+        assert cava_main(["top", trace_file, "--percentiles"]) == 0
+        out = capsys.readouterr().out
+        for column in ("p50 us", "p99 us", "p999 us"):
+            assert column in out
+
+    def test_top_without_flag_has_no_percentiles(self, trace_file,
+                                                 capsys):
+        assert cava_main(["top", trace_file]) == 0
+        assert "p999 us" not in capsys.readouterr().out
+
+    def test_top_vm_filter_matches(self, trace_file, capsys):
+        assert cava_main(["top", trace_file, "--vm", "vm-top"]) == 0
+        out = capsys.readouterr().out
+        assert "vm-top" in out
+        assert "1 VM(s)" in out
+
+    def test_top_vm_filter_no_match(self, trace_file, capsys):
+        assert cava_main(["top", trace_file, "--vm", "vm-ghost"]) == 0
+        assert "no spans for VM 'vm-ghost'" in capsys.readouterr().out
+
+    def test_top_flags_combined(self, trace_file, capsys):
+        assert cava_main(["top", trace_file, "--vm", "vm-top",
+                          "--percentiles"]) == 0
+        out = capsys.readouterr().out
+        assert "p99 us" in out
+        assert "vm-top" in out

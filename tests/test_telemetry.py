@@ -335,3 +335,136 @@ class TestPerfettoFormat:
         names = {e["args"]["name"] for e in document["traceEvents"]
                  if e["name"] == "process_name"}
         assert names == {"host"}
+
+
+def _span(span_id, start, end, parent_id=None, name="op",
+          layer="guest", kind="op", vm_id="v1"):
+    return Span(trace_id="t", span_id=span_id, parent_id=parent_id,
+                name=name, layer=layer, kind=kind, vm_id=vm_id,
+                start=start, end=end)
+
+
+class TestSelfTimeEdgeCases:
+    def test_overlapping_children_clip_to_zero(self):
+        # children together cover more than the parent: self time is 0,
+        # never negative
+        spans = [
+            _span(1, 0.0, 1.0),
+            _span(2, 0.0, 0.8, parent_id=1),
+            _span(3, 0.3, 1.0, parent_id=1),
+        ]
+        own = self_times(spans)
+        assert own[1] == 0.0
+        assert own[2] == pytest.approx(0.8)
+        assert own[3] == pytest.approx(0.7)
+
+    def test_orphan_parent_id_is_harmless(self):
+        # a child pointing at a span that is not in the set (cross-wire
+        # parent, truncated trace) keeps its full duration
+        spans = [_span(1, 0.0, 0.5, parent_id=999)]
+        assert self_times(spans) == {1: pytest.approx(0.5)}
+
+    def test_unfinished_spans_excluded(self):
+        spans = [
+            _span(1, 0.0, 1.0),
+            _span(2, 0.2, None, parent_id=1),  # still open
+        ]
+        own = self_times(spans)
+        assert 2 not in own
+        assert own[1] == pytest.approx(1.0)  # open child charges nothing
+
+    def test_breakdown_skips_containers(self):
+        spans = [
+            _span(1, 0.0, 10.0, kind="vm"),
+            _span(2, 0.0, 10.0, kind="api", parent_id=1),
+            _span(3, 0.0, 1.0, kind="function", parent_id=2),
+            _span(4, 0.25, 0.75, parent_id=3, layer="transport"),
+        ]
+        shares = breakdown(spans, lambda s: s.layer)
+        assert shares == {
+            "guest": pytest.approx(0.5),
+            "transport": pytest.approx(0.5),
+        }
+
+    def test_breakdown_empty_input(self):
+        assert breakdown([], lambda s: s.layer) == {}
+
+
+class TestAbsorbIdempotency:
+    class FakeRouterMetrics:
+        def __init__(self):
+            self.rejected = 3
+            self.rate_delay = 0.25
+            self.server_lost = 1
+            self.xfer_hits = 5
+            self.xfer_misses = 2
+            self.xfer_bytes_elided = 1024
+            self.resources = {"bus_bytes": 128.0}
+
+    class FakeRuntime:
+        api_name = "opencl"
+
+        def __init__(self):
+            self.retries = 4
+            self.giveups = 1
+
+    def test_absorb_router_twice_counts_once(self):
+        registry = MetricsRegistry()
+        source = {"v1": self.FakeRouterMetrics()}
+        registry.absorb_router(source)
+        registry.absorb_router(source)  # e.g. two admin_report() calls
+        telemetry = registry.vm("v1")
+        assert telemetry.rejected == 3
+        assert telemetry.rate_delay == pytest.approx(0.25)
+        assert telemetry.server_lost == 1
+        assert telemetry.xfer_hits == 5
+        assert telemetry.resources["bus_bytes"] == pytest.approx(128.0)
+
+    def test_absorb_router_folds_only_growth(self):
+        registry = MetricsRegistry()
+        metrics = self.FakeRouterMetrics()
+        registry.absorb_router({"v1": metrics})
+        metrics.rejected += 2
+        metrics.resources["bus_bytes"] += 64.0
+        registry.absorb_router({"v1": metrics})
+        telemetry = registry.vm("v1")
+        assert telemetry.rejected == 5
+        assert telemetry.resources["bus_bytes"] == pytest.approx(192.0)
+
+    def test_absorb_runtime_twice_counts_once(self):
+        registry = MetricsRegistry()
+        runtime = self.FakeRuntime()
+        registry.absorb_runtime("v1", runtime)
+        registry.absorb_runtime("v1", runtime)
+        telemetry = registry.vm("v1")
+        assert telemetry.retries == 4
+        assert telemetry.giveups == 1
+        runtime.retries += 3
+        registry.absorb_runtime("v1", runtime)
+        assert telemetry.retries == 7
+
+    def test_absorb_runtime_per_api_sources(self):
+        registry = MetricsRegistry()
+
+        class OtherRuntime(self.FakeRuntime):
+            api_name = "mvnc"
+
+        registry.absorb_runtime("v1", self.FakeRuntime())
+        registry.absorb_runtime("v1", OtherRuntime())
+        # distinct (vm, api) sources both count
+        assert registry.vm("v1").retries == 8
+
+    def test_absorb_slo_idempotent(self):
+        from repro.telemetry.slo import (BurnRateWindow, SLOMonitor,
+                                         SLOTarget)
+
+        monitor = SLOMonitor([SLOTarget(
+            name="t", objective=0.9,
+            windows=(BurnRateWindow(1.0, 0.2, 3.0),))])
+        for i in range(5):
+            monitor.record("v1", "f", 0.0, error=True, now=i * 0.01)
+        assert monitor.breached
+        registry = MetricsRegistry()
+        registry.absorb_slo(monitor)
+        registry.absorb_slo(monitor)
+        assert registry.vm("v1").slo_breaches == len(monitor.events)
