@@ -143,7 +143,7 @@ def _cmd_top(args: argparse.Namespace) -> int:
 
     try:
         print(run_top(args.trace, percentiles=args.percentiles,
-                      vm=args.vm))
+                      vm=args.vm, devices=args.devices))
     except TraceFormatError as err:
         print(f"cava: {err}", file=sys.stderr)
         return 2
@@ -299,6 +299,9 @@ def build_parser() -> argparse.ArgumentParser:
                      help="add p50/p99/p999 columns from the merged "
                           "per-VM latency histograms")
     top.add_argument("--vm", help="restrict to one VM")
+    top.add_argument("--devices", action="store_true",
+                     help="append per-device utilization (pool members "
+                          "or native device names)")
     top.set_defaults(func=_cmd_top)
 
     slo = sub.add_parser(

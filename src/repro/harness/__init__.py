@@ -18,6 +18,12 @@ from repro.harness.loadgen import (
     TraceArrivals,
     run_open_loop,
 )
+from repro.harness.pool import (
+    extract_inception_trace,
+    fleet_streams,
+    rodinia_traces,
+    run_pool_fleet,
+)
 from repro.harness.report import format_figure5, format_table
 
 __all__ = [
@@ -30,11 +36,15 @@ __all__ = [
     "Measurement",
     "PoissonArrivals",
     "TraceArrivals",
+    "extract_inception_trace",
+    "fleet_streams",
     "format_figure5",
     "format_table",
+    "rodinia_traces",
     "run_figure5",
     "run_native_mvnc",
     "run_native_opencl",
     "run_open_loop",
+    "run_pool_fleet",
     "run_virtualized",
 ]

@@ -136,8 +136,16 @@ def run_figure5(
     transport: str = "inproc",
     workload_classes: Optional[Sequence[Callable[..., Any]]] = None,
     include_mvnc: bool = True,
+    hypervisor_factory: Optional[Callable[[str], Hypervisor]] = None,
 ) -> List[FigureFiveRow]:
-    """Reproduce Figure 5: per-workload relative end-to-end runtime."""
+    """Reproduce Figure 5: per-workload relative end-to-end runtime.
+
+    ``hypervisor_factory`` builds the hypervisor for each virtualized
+    run (called with the API name, fresh per workload).  The pool
+    bit-identity guard uses it to route every workload through a
+    single-member device pool; the default per-workload hypervisor has
+    no pool.
+    """
     rows: List[FigureFiveRow] = []
     classes = list(workload_classes
                    if workload_classes is not None else OPENCL_WORKLOADS)
@@ -147,6 +155,8 @@ def run_figure5(
         virtualized = run_virtualized(
             workload, api_name="opencl", transport=transport,
             vm_id=f"vm-{workload.name}",
+            hypervisor=(hypervisor_factory("opencl")
+                        if hypervisor_factory is not None else None),
         )
         rows.append(FigureFiveRow(workload.name, "GTX 1080 (sim)", native,
                                   virtualized))
@@ -156,6 +166,8 @@ def run_figure5(
         virtualized = run_virtualized(
             workload, api_name="mvnc", transport=transport,
             vm_id="vm-inception",
+            hypervisor=(hypervisor_factory("mvnc")
+                        if hypervisor_factory is not None else None),
         )
         rows.append(FigureFiveRow(workload.name, "Movidius NCS (sim)",
                                   native, virtualized))

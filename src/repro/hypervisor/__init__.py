@@ -9,7 +9,19 @@ owns VM and API-server lifecycles; :mod:`repro.hypervisor.scheduler`
 provides the device-time schedulers used for cross-VM sharing.
 """
 
-from repro.hypervisor.policy import RateLimiter, ResourcePolicy, VMPolicy
+from repro.hypervisor.policy import (
+    QOS_CLASSES,
+    RateLimiter,
+    ResourcePolicy,
+    VMPolicy,
+)
+from repro.hypervisor.pool import (
+    DeviceClass,
+    DevicePool,
+    PoolScheduler,
+    PoolWorkItem,
+    PooledDevice,
+)
 from repro.hypervisor.router import Router, RoutingInfo, RoutingTable
 from repro.hypervisor.scheduler import (
     ContendedDevice,
@@ -23,10 +35,16 @@ from repro.hypervisor.vm import GuestVM
 
 __all__ = [
     "ContendedDevice",
+    "DeviceClass",
+    "DevicePool",
     "FairShareScheduler",
     "FifoScheduler",
     "GuestVM",
     "Hypervisor",
+    "PoolScheduler",
+    "PoolWorkItem",
+    "PooledDevice",
+    "QOS_CLASSES",
     "RateLimiter",
     "ResourcePolicy",
     "RoundRobinScheduler",

@@ -17,6 +17,7 @@ from repro.faults.plan import FaultPlan
 from repro.telemetry import flightrec
 from repro.faults.transport import FaultyTransport
 from repro.hypervisor.policy import RateLimiter, ResourcePolicy
+from repro.hypervisor.pool import DeviceClass, DevicePool, PooledDevice
 from repro.hypervisor.router import Router, RoutingTable
 from repro.hypervisor.vm import GuestVM
 from repro.migration.replayer import MigrationReport, migrate_worker
@@ -84,6 +85,9 @@ class Hypervisor:
         self.lost_workers: Dict[Tuple[str, str], str] = {}
         #: optional SLO monitor observing routed replies (None = off)
         self.slo_monitor: Optional[Any] = None
+        #: device pool; None keeps the pre-pool implicit-singleton
+        #: behaviour (binders use their configured device factories)
+        self.pool: Optional[DevicePool] = None
 
     # -- configuration ---------------------------------------------------------
 
@@ -115,6 +119,18 @@ class Hypervisor:
                 )
             vm.set_retry_policy(policy)
         self._retry_policy = policy
+
+    def add_device(self, device_class: DeviceClass,
+                   device_id: Optional[str] = None) -> PooledDevice:
+        """Add a pool member; the first call turns pooling on.
+
+        Workers spawned after this bind to pool members (placement via
+        :meth:`DevicePool.place`) instead of the binders' implicit
+        per-worker devices.  Existing workers keep their binding.
+        """
+        if self.pool is None:
+            self.pool = DevicePool(self.policy)
+        return self.pool.add(device_class, device_id)
 
     def install_slo(self, monitor: Any) -> None:
         """Point the router's reply path at an SLO monitor.
@@ -178,6 +194,8 @@ class Hypervisor:
         self.xfer_stores.pop(vm_id, None)
         for key in [k for k in self.workers if k[0] == vm_id]:
             del self.workers[key]
+        if self.pool is not None:
+            self.pool.release(vm_id)
 
     # -- worker placement -----------------------------------------------------
 
@@ -261,6 +279,12 @@ class Hypervisor:
             ),
             record_kinds=registration.record_kinds,
         )
+        if self.pool is not None:
+            # placement before binding: the session binder reads
+            # worker.pool_device to pick the member's native devices.
+            # placement is per-VM, so every API of a VM (and a restarted
+            # or migrated worker) lands on the same member.
+            worker.pool_device = self.pool.place(vm_id)
         worker.session_factory = registration.session_binder(worker)
         if self._fault_hook is not None:
             worker.fault_hook = self._fault_hook
@@ -324,5 +348,29 @@ class Hypervisor:
             report["_slo"] = {
                 "targets": self.slo_monitor.summary(),
                 "breaches": len(self.slo_monitor.events),
+            }
+        if self.pool is not None:
+            devices = {}
+            for member in self.pool.devices:
+                apis = {}
+                for api, native in member._native.items():
+                    busy = getattr(native, "busy_time", 0.0)
+                    horizon = getattr(native, "timeline", 0.0)
+                    apis[api] = {
+                        "busy_time": busy,
+                        "timeline": horizon,
+                        "utilization": busy / horizon if horizon else 0.0,
+                    }
+                devices[member.device_id] = {
+                    "class": member.device_class.name,
+                    "compute_scale": member.device_class.compute_scale,
+                    "memory_bytes": member.device_class.memory_bytes,
+                    "reserved_bytes": member.reserved_bytes,
+                    "vms": sorted(member.resident),
+                    "apis": apis,
+                }
+            report["_pool"] = {
+                "devices": devices,
+                "total_capacity": self.pool.total_capacity,
             }
         return report

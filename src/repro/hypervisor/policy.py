@@ -11,6 +11,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+#: QoS classes, as a weight multiplier folded into the fair-share
+#: weight.  The class also steers pool placement (see
+#: :mod:`repro.hypervisor.pool`): ``realtime`` tenants tie-break toward
+#: the fastest device class, ``best-effort`` toward the slowest.
+QOS_CLASSES: Dict[str, float] = {
+    "realtime": 4.0,
+    "standard": 1.0,
+    "best-effort": 0.25,
+}
+
 
 @dataclass
 class VMPolicy:
@@ -23,6 +33,9 @@ class VMPolicy:
     command_burst: int = 32
     #: fair-share weight for device-time scheduling
     weight: float = 1.0
+    #: QoS class (one of :data:`QOS_CLASSES`); multiplies ``weight``
+    #: for scheduling and steers placement across a device pool
+    qos: str = "standard"
     #: device-memory allowance, bytes (None = unlimited)
     memory_bytes: Optional[int] = None
     #: per-resource cumulative allowances, keyed by the resource names
@@ -30,6 +43,13 @@ class VMPolicy:
     #: "device_memory", "kernel_launches"); the router rejects commands
     #: that would exceed one (§4.3's administration interface)
     resource_limits: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.qos not in QOS_CLASSES:
+            raise ValueError(
+                f"unknown QoS class {self.qos!r}; "
+                f"choose from {sorted(QOS_CLASSES)}"
+            )
 
 
 @dataclass
@@ -44,6 +64,11 @@ class ResourcePolicy:
 
     def set_policy(self, vm_id: str, policy: VMPolicy) -> None:
         self.per_vm[vm_id] = policy
+
+    def effective_weight(self, vm_id: str) -> float:
+        """The VM's scheduling weight with its QoS multiplier applied."""
+        vm_policy = self.policy_for(vm_id)
+        return vm_policy.weight * QOS_CLASSES[vm_policy.qos]
 
 
 class RateLimiter:

@@ -45,6 +45,11 @@ class Scheduler:
     def weight_of(self, vm_id: str) -> float:
         return 1.0
 
+    def reset(self) -> None:
+        """Discard per-run state.  :meth:`ContendedDevice.run` calls this
+        at the start of every run so a scheduler instance can be reused
+        across runs without leaking rotation or virtual-time state."""
+
 
 class FifoScheduler(Scheduler):
     """No policy: whichever ready VM queued first (alphabetical tiebreak
@@ -60,6 +65,12 @@ class RoundRobinScheduler(Scheduler):
     def __init__(self) -> None:
         self._last: Optional[str] = None
 
+    def reset(self) -> None:
+        # the rotation cursor is per-run state: without this, a second
+        # run() on the same scheduler instance starts mid-rotation and
+        # back-to-back runs of identical streams are not reproducible
+        self._last = None
+
     def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
         ordered = sorted(ready)
         if self._last is None:
@@ -72,28 +83,69 @@ class RoundRobinScheduler(Scheduler):
 
 
 class FairShareScheduler(Scheduler):
-    """Weighted fair sharing of device time.
+    """Weighted fair sharing of device time (start-time fair queuing).
 
     Each VM carries a virtual-time tag: accumulated device time divided
     by its weight.  The scheduler always runs the ready VM with the
     smallest tag, so over any interval in which VMs stay busy their
     device time converges to the weight ratio.
+
+    Tags are tracked internally rather than recomputed from raw usage:
+    a VM that becomes ready late (or re-enters after idling) would carry
+    ``usage ≈ 0`` and monopolize the device until it "caught up" with
+    incumbents.  The classic SFQ re-entry rule applies instead — a VM
+    (re-)entering the ready set has its tag clamped up to the minimum
+    tag among already-ready VMs, so idle time earns no credit and a
+    late joiner competes only for its weighted share going forward.
     """
 
     def __init__(self, policy: Optional[ResourcePolicy] = None) -> None:
         self.policy = policy or ResourcePolicy()
+        #: per-VM virtual-time tags (weighted accumulated device time,
+        #: plus any re-entry clamps)
+        self._tags: Dict[str, float] = {}
+        #: usage last observed per VM, to convert usage into tag deltas
+        self._seen_usage: Dict[str, float] = {}
+        #: the ready set at the previous pick (re-entry detection)
+        self._prev_ready: frozenset = frozenset()
+
+    def reset(self) -> None:
+        self._tags.clear()
+        self._seen_usage.clear()
+        self._prev_ready = frozenset()
 
     def weight_of(self, vm_id: str) -> float:
-        weight = self.policy.policy_for(vm_id).weight
+        weight = self.policy.effective_weight(vm_id)
         if weight <= 0:
             raise ValueError(f"weight for {vm_id!r} must be positive")
         return weight
 
     def pick(self, ready: Sequence[str], usage: Dict[str, float]) -> str:
-        return min(
-            sorted(ready),
-            key=lambda vm: usage.get(vm, 0.0) / self.weight_of(vm),
-        )
+        ordered = sorted(ready)
+        # fold device time accrued since the last pick into the tags
+        for vm in ordered:
+            used = usage.get(vm, 0.0)
+            if vm in self._tags:
+                delta = used - self._seen_usage.get(vm, 0.0)
+                if delta > 0:
+                    self._tags[vm] += delta / self.weight_of(vm)
+            self._seen_usage[vm] = used
+        # SFQ re-entry rule: the floor is the smallest tag among VMs
+        # that were already ready (falling back to the smallest existing
+        # tag when the whole ready set re-enters at once)
+        incumbents = [self._tags[vm] for vm in ordered
+                      if vm in self._tags and vm in self._prev_ready]
+        if not incumbents:
+            incumbents = [self._tags[vm] for vm in ordered
+                          if vm in self._tags]
+        floor = min(incumbents) if incumbents else 0.0
+        for vm in ordered:
+            if vm not in self._tags:
+                self._tags[vm] = floor
+            elif vm not in self._prev_ready:
+                self._tags[vm] = max(self._tags[vm], floor)
+        self._prev_ready = frozenset(ordered)
+        return min(ordered, key=lambda vm: (self._tags[vm], vm))
 
 
 @dataclass
@@ -104,11 +156,18 @@ class StreamStats:
     completed: int = 0
     device_time: float = 0.0
     finish_time: float = 0.0
+    #: total wait (submission → start) = queue wait + throttle wait
     total_wait: float = 0.0
+    #: wait spent queued behind other VMs' work (throttle excluded)
+    total_queue_wait: float = 0.0
+    #: wait injected by the admission rate limiter (token bucket)
+    total_throttle_wait: float = 0.0
     #: completion timestamps (for throughput-over-time analysis)
     completions: List[float] = field(default_factory=list)
-    #: per-item queueing waits (submission → start)
+    #: per-item total waits (submission → start, throttle included)
     waits: List[float] = field(default_factory=list)
+    #: per-item queueing waits (rate-limiter release → start)
+    queue_waits: List[float] = field(default_factory=list)
 
     @property
     def max_wait(self) -> float:
@@ -139,6 +198,9 @@ class ContendedDevice:
     def run(self, streams: Dict[str, List[WorkItem]]) -> Dict[str, StreamStats]:
         if not streams:
             raise ValueError("no streams to schedule")
+        # schedulers are stateful (rotation cursor, virtual-time tags);
+        # a fresh run must not inherit a previous run's position
+        self.scheduler.reset()
         stats = {vm: StreamStats(vm_id=vm) for vm in streams}
         index = {vm: 0 for vm in streams}
         next_submit = {vm: 0.0 for vm in streams}
@@ -193,8 +255,17 @@ class ContendedDevice:
             entry.completed += 1
             entry.device_time += item.duration
             entry.finish_time = end
-            entry.total_wait += start - next_submit[chosen]
-            entry.waits.append(start - next_submit[chosen])
+            # queueing (waiting behind other VMs' device time) and
+            # admission throttling (token-bucket delay) are different
+            # phenomena: report them separately, with total_wait kept
+            # as their sum for compatibility
+            queue_wait = start - release[chosen]
+            throttle_wait = release[chosen] - next_submit[chosen]
+            entry.total_wait += queue_wait + throttle_wait
+            entry.total_queue_wait += queue_wait
+            entry.total_throttle_wait += throttle_wait
+            entry.waits.append(queue_wait + throttle_wait)
+            entry.queue_waits.append(queue_wait)
             entry.completions.append(end)
 
             index[chosen] += 1

@@ -74,6 +74,9 @@ class ApiServerWorker:
                                            None]] = None
         #: reason string once this worker process "died"
         self.crashed: Optional[str] = None
+        #: pool member this worker is bound to, set by the hypervisor
+        #: before the session binder runs (None = implicit singleton)
+        self.pool_device: Optional[Any] = None
 
     # -- helpers the generated server stubs call ------------------------------
 

@@ -21,6 +21,17 @@ from repro.mvnc.device import SimulatedNCS
 from repro.server.api_server import ApiServerWorker
 
 
+def _pool_devices(worker: ApiServerWorker, api: str) -> Optional[List]:
+    """Devices from the worker's pool placement, if the hypervisor
+    assigned one.  Workers co-placed on the same pool member share its
+    native device (one timeline), which is what makes cross-VM
+    contention on a pool member real."""
+    member = getattr(worker, "pool_device", None)
+    if member is None:
+        return None
+    return [member.native_device(api)]
+
+
 def opencl_session_binder(
     devices_factory: Callable[[], List[SimulatedGPU]],
     memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
@@ -29,12 +40,14 @@ def opencl_session_binder(
 
     ``devices_factory`` is called once per worker, so each worker can get
     a dedicated simulated GPU (the measurement configuration) or share
-    one list across workers (the consolidation configuration).
+    one list across workers (the consolidation configuration).  A worker
+    bound to a :class:`~repro.hypervisor.pool.PooledDevice` uses that
+    member's native GPU instead.
     """
 
     def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
         session = Session(
-            devices=devices_factory(),
+            devices=_pool_devices(worker, "opencl") or devices_factory(),
             clock=worker.clock,
             handle_resolver=worker.handles.lookup,
             memory_manager=(
@@ -63,7 +76,10 @@ def mvnc_session_binder(
     """Binder for MVNC workers (one persistent NCS session per worker)."""
 
     def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
-        session = NCSSession(devices=devices_factory(), clock=worker.clock)
+        session = NCSSession(
+            devices=_pool_devices(worker, "mvnc") or devices_factory(),
+            clock=worker.clock,
+        )
         worker.native_session = session
 
         @contextlib.contextmanager
@@ -86,7 +102,10 @@ def qat_session_binder(
     from repro.qat.api import QATSession, _SESSION_STACK as _QAT_STACK
 
     def bind(worker: ApiServerWorker) -> Callable[[ApiServerWorker], ContextManager]:
-        session = QATSession(devices=devices_factory(), clock=worker.clock)
+        session = QATSession(
+            devices=_pool_devices(worker, "qat") or devices_factory(),
+            clock=worker.clock,
+        )
         worker.native_session = session
 
         @contextlib.contextmanager

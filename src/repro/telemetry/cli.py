@@ -94,14 +94,54 @@ def run_trace(
     return "\n".join(lines)
 
 
+def _device_table(spans: List[Span]) -> Optional[str]:
+    """Per-device utilization from ``device``-layer spans.
+
+    Spans are grouped by their ``device`` attribute (the pool member id
+    for pool runs, the device spec name for native devices); the
+    utilization horizon is the overall span extent of the trace.
+    """
+    device_spans = [s for s in spans if s.finished and s.layer == "device"]
+    if not device_spans:
+        return None
+    horizon = (max(s.end for s in device_spans)
+               - min(s.start for s in device_spans))
+    groups: Dict[str, List[Span]] = {}
+    for span in device_spans:
+        name = str(span.attrs.get("device", "(unattributed)"))
+        groups.setdefault(name, []).append(span)
+    rows = []
+    for name in sorted(groups, key=lambda n: -sum(s.duration
+                                                  for s in groups[n])):
+        members = groups[name]
+        busy = sum(s.duration for s in members)
+        by_vm: Dict[str, float] = {}
+        for span in members:
+            if span.vm_id is not None:
+                by_vm[span.vm_id] = by_vm.get(span.vm_id, 0.0) + span.duration
+        top_vm = max(by_vm, key=by_vm.get) if by_vm else "-"
+        rows.append([
+            name,
+            str(len(members)),
+            _us(busy),
+            f"{busy / horizon * 100:.0f}%" if horizon > 0 else "-",
+            str(len(by_vm)),
+            top_vm,
+        ])
+    return format_table(
+        ["device", "ops", "busy us", "util", "vms", "top vm"], rows
+    )
+
+
 def run_top(path: str, percentiles: bool = False,
-            vm: Optional[str] = None) -> str:
+            vm: Optional[str] = None, devices: bool = False) -> str:
     """The per-VM telemetry summary table for one trace file.
 
     ``percentiles`` adds p50/p99/p999 latency columns computed from
     each VM's per-function histograms *merged* into one distribution
     (exact bucket merge — see :mod:`repro.telemetry.histogram`);
-    ``vm`` filters to a single VM id.
+    ``vm`` filters to a single VM id; ``devices`` appends a per-device
+    utilization table grouped by the spans' ``device`` attribute.
     """
     spans = load_trace(path)
     if not spans:
@@ -152,6 +192,11 @@ def run_top(path: str, percentiles: bool = False,
     )
     vms = len(registry.vms) if vm is None else len(rows)
     lines = [f"trace: {path} — {len(spans)} spans, {vms} VM(s)", "", table]
+    if devices:
+        device_table = _device_table(spans)
+        lines += ["", "devices:", "",
+                  device_table if device_table is not None
+                  else "(no device-layer spans)"]
     return "\n".join(lines)
 
 

@@ -216,6 +216,27 @@ class VMTelemetry:
         return sum(f.total_time for f in self.functions.values())
 
 
+@dataclass
+class DeviceTelemetry:
+    """Per-pool-member aggregate: who runs there and how busy it is."""
+
+    device_id: str
+    device_class: str = ""
+    compute_scale: float = 1.0
+    #: wall-clock busy time across the member's native devices
+    busy_time: float = 0.0
+    #: latest device-timeline value observed (utilization horizon)
+    horizon: float = 0.0
+    #: busy time per native API on this member
+    per_api: Dict[str, float] = field(default_factory=dict)
+    #: VMs resident at the last absorption (snapshot, not a delta)
+    vms: List[str] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_time / self.horizon if self.horizon else 0.0
+
+
 class MetricsRegistry:
     """Aggregates completed spans into per-VM / per-function metrics.
 
@@ -225,6 +246,8 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self.vms: Dict[str, VMTelemetry] = {}
+        #: per-pool-member utilization (absorbed from a DevicePool)
+        self.devices: Dict[str, DeviceTelemetry] = {}
         # per-source counter snapshots: absorbing the same source twice
         # adds only the delta since the previous absorption, so repeated
         # admin_report() calls cannot double count (and sources whose
@@ -328,6 +351,35 @@ class MetricsRegistry:
         })
         entry.retries += int(delta["retries"])
         entry.giveups += int(delta["giveups"])
+
+    def absorb_pool(self, pool: Any) -> None:
+        """Fold a :class:`~repro.hypervisor.pool.DevicePool`'s member
+        utilization into this registry.
+
+        Busy time is absorbed as a delta per (member, API) source —
+        idempotent like :meth:`absorb_router` — while the resident-VM
+        list and the utilization horizon are point-in-time snapshots.
+        """
+        for member in pool.devices:
+            entry = self.devices.get(member.device_id)
+            if entry is None:
+                entry = self.devices[member.device_id] = DeviceTelemetry(
+                    device_id=member.device_id,
+                    device_class=member.device_class.name,
+                    compute_scale=member.device_class.compute_scale,
+                )
+            entry.vms = sorted(member.resident)
+            for api, native in member._native.items():
+                busy = float(getattr(native, "busy_time", 0.0))
+                horizon = float(getattr(native, "timeline", 0.0))
+                delta = self._delta(
+                    ("pool", member.device_id, api), {"busy": busy}
+                )
+                entry.busy_time += delta["busy"]
+                entry.per_api[api] = (
+                    entry.per_api.get(api, 0.0) + delta["busy"]
+                )
+                entry.horizon = max(entry.horizon, horizon)
 
     def absorb_slo(self, monitor: Any) -> None:
         """Fold an SLO monitor's per-VM breach counts into this registry.

@@ -192,3 +192,218 @@ class TestJainIndex:
     def test_empty_or_zero(self):
         assert jain_fairness([]) == 1.0
         assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_single_vm_is_trivially_fair(self):
+        assert jain_fairness([5.0]) == pytest.approx(1.0)
+
+    def test_all_zero_is_fair_not_nan(self):
+        # an idle fleet is vacuously fair; must not divide by zero
+        assert jain_fairness([0.0, 0.0, 0.0, 0.0]) == 1.0
+
+
+class TestSfqReentry:
+    """Regression: a late joiner must not monopolize the device.
+
+    Before the fix, FairShareScheduler derived tags directly from raw
+    usage, so a VM becoming ready late carried usage ≈ 0 and won every
+    pick until it "caught up" with the incumbent — the incumbent
+    starved for as long as the joiner had been absent.
+    """
+
+    def test_late_joiner_capped_at_weighted_share(self):
+        join_at = 0.5
+        streams = {
+            "incumbent": [WorkItem(1e-3) for _ in range(1000)],
+            # a zero-cost marker item whose think time delays the real
+            # work: "late" re-enters the ready set at t ≈ join_at with
+            # zero accumulated usage
+            "late": [WorkItem(0.0, think_time=join_at)]
+            + [WorkItem(1e-3) for _ in range(400)],
+        }
+        device = ContendedDevice(FairShareScheduler())
+        stats = device.run(streams)
+        window_end = join_at + 0.2
+        late_wins = sum(
+            1 for t in stats["late"].completions if join_at < t <= window_end
+        )
+        incumbent_wins = sum(
+            1
+            for t in stats["incumbent"].completions
+            if join_at < t <= window_end
+        )
+        total = late_wins + incumbent_wins
+        assert total > 100  # the window saw real contention
+        # equal weights → the joiner's fair share of the window is 1/2;
+        # pre-fix it wins essentially everything (~1.0 of the window)
+        assert late_wins <= 0.6 * total, (
+            f"late joiner won {late_wins}/{total} of the post-join window"
+        )
+        assert incumbent_wins >= 0.4 * total
+
+    def test_continuously_busy_vms_unaffected(self):
+        # the re-entry clamp must be a no-op when everyone stays ready
+        streams = uniform_streams(["a", "b"], count=200, duration=1e-3)
+        stats = ContendedDevice(FairShareScheduler()).run(streams)
+        done = min(s.finish_time for s in stats.values())
+        a = sum(1 for t in stats["a"].completions if t <= done)
+        b = sum(1 for t in stats["b"].completions if t <= done)
+        assert jain_fairness([a, b]) > 0.99
+
+
+class TestRoundRobinReset:
+    """Regression: the rotation cursor leaked across run() calls, so a
+    second run on the same scheduler instance started mid-rotation and
+    back-to-back identical runs produced different stats."""
+
+    def test_same_streams_twice_identical_stats(self):
+        device = ContendedDevice(RoundRobinScheduler())
+
+        def make_streams():
+            return {
+                "a": [WorkItem(1e-3) for _ in range(30)],
+                "b": [WorkItem(2e-3) for _ in range(15)],
+                "c": [WorkItem(1e-3) for _ in range(20)],
+            }
+
+        first = device.run(make_streams())
+        second = device.run(make_streams())
+        for vm in first:
+            assert first[vm].completions == second[vm].completions
+            assert first[vm].finish_time == second[vm].finish_time
+            assert first[vm].total_wait == second[vm].total_wait
+
+    def test_fair_share_also_resets(self):
+        device = ContendedDevice(FairShareScheduler())
+        streams = uniform_streams(["a", "b"], count=40)
+        first = device.run(streams)
+        second = device.run(uniform_streams(["a", "b"], count=40))
+        for vm in first:
+            assert first[vm].completions == second[vm].completions
+
+
+class TestWaitSplit:
+    """Regression: throttle delay from the admission rate limiter was
+    charged into the same counters as queueing behind other VMs' work;
+    the split keeps total_wait = queue + throttle for compatibility."""
+
+    def make_limited(self, rate, burst=1):
+        policy = ResourcePolicy()
+        policy.set_policy(
+            "limited", VMPolicy(command_rate=rate, command_burst=burst)
+        )
+        return RateLimiter(policy)
+
+    def test_solo_throttled_vm_has_no_queue_wait(self):
+        # alone on the device, every wait is admission throttling
+        device = ContendedDevice(
+            FifoScheduler(), rate_limiter=self.make_limited(rate=100.0)
+        )
+        stats = device.run(
+            {"limited": [WorkItem(0.1e-3) for _ in range(50)]}
+        )
+        entry = stats["limited"]
+        assert entry.total_throttle_wait > 0
+        assert entry.total_queue_wait == pytest.approx(0.0)
+        assert entry.total_wait == pytest.approx(entry.total_throttle_wait)
+
+    def test_contended_throttled_vm_splits_both(self):
+        device = ContendedDevice(
+            FifoScheduler(), rate_limiter=self.make_limited(rate=100.0)
+        )
+        streams = {
+            "limited": [WorkItem(0.1e-3) for _ in range(50)],
+            "free": [WorkItem(5e-3) for _ in range(50)],
+        }
+        stats = device.run(streams)
+        limited = stats["limited"]
+        # throttled *and* stuck behind the free VM's 5 ms kernels
+        assert limited.total_throttle_wait > 0
+        assert limited.total_queue_wait > 0
+        assert limited.total_wait == pytest.approx(
+            limited.total_queue_wait + limited.total_throttle_wait
+        )
+        # the free VM is never throttled: all wait is queueing
+        free = stats["free"]
+        assert free.total_throttle_wait == pytest.approx(0.0)
+        assert free.total_wait == pytest.approx(free.total_queue_wait)
+
+    def test_per_item_lists_consistent(self):
+        device = ContendedDevice(
+            FifoScheduler(), rate_limiter=self.make_limited(rate=200.0)
+        )
+        streams = {
+            "limited": [WorkItem(0.1e-3) for _ in range(30)],
+            "free": [WorkItem(1e-3) for _ in range(30)],
+        }
+        stats = device.run(streams)
+        for entry in stats.values():
+            assert len(entry.queue_waits) == len(entry.waits)
+            assert sum(entry.queue_waits) == pytest.approx(
+                entry.total_queue_wait
+            )
+            for total, queued in zip(entry.waits, entry.queue_waits):
+                assert total >= queued - 1e-12
+
+
+class TestEngineEdgeCases:
+    def test_zero_length_stream_mixed_with_busy(self):
+        # a VM with no work at all must not wedge or skew the engine
+        streams = {
+            "idle": [],
+            "busy": [WorkItem(1e-3) for _ in range(10)],
+        }
+        stats = ContendedDevice(FifoScheduler()).run(streams)
+        assert stats["idle"].completed == 0
+        assert stats["idle"].device_time == 0.0
+        assert stats["busy"].completed == 10
+        assert stats["busy"].finish_time == pytest.approx(10e-3)
+
+    def test_zero_duration_items_complete(self):
+        streams = {
+            "zero": [WorkItem(0.0) for _ in range(5)],
+            "busy": [WorkItem(1e-3) for _ in range(5)],
+        }
+        stats = ContendedDevice(RoundRobinScheduler()).run(streams)
+        assert stats["zero"].completed == 5
+        assert stats["zero"].device_time == 0.0
+        assert stats["busy"].completed == 5
+
+    def test_equal_release_ties_are_alphabetical(self):
+        # all VMs ready at t=0 with identical tags: FIFO must pick the
+        # alphabetically first, deterministically
+        device = ContendedDevice(FifoScheduler())
+        stats = device.run(uniform_streams(["c", "a", "b"], count=1))
+        order = sorted(stats, key=lambda vm: stats[vm].completions[0])
+        assert order == ["a", "b", "c"]
+
+    @given(
+        st.dictionaries(
+            st.sampled_from(["a", "b", "c", "d"]),
+            st.lists(
+                st.builds(
+                    WorkItem,
+                    st.floats(min_value=0.0, max_value=5e-3),
+                    st.floats(min_value=0.0, max_value=2e-3),
+                ),
+                min_size=0,
+                max_size=12,
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        st.sampled_from(["fifo", "rr", "fair"]),
+    )
+    def test_device_time_conserved_under_any_policy(self, streams, kind):
+        scheduler = {
+            "fifo": FifoScheduler,
+            "rr": RoundRobinScheduler,
+            "fair": FairShareScheduler,
+        }[kind]()
+        stats = ContendedDevice(scheduler).run(streams)
+        expected = sum(
+            item.duration for items in streams.values() for item in items
+        )
+        observed = sum(s.device_time for s in stats.values())
+        assert observed == pytest.approx(expected)
+        for vm, entry in stats.items():
+            assert entry.completed == len(streams[vm])
