@@ -9,6 +9,17 @@ Three layers behind ``cava lint`` (see docs/linting.md):
 * :mod:`repro.analysis.genast` — AST verification of the generated
   guest/server/routing modules (``CAVA3xx``).
 
+And the happens-before ordering layer behind ``cava race``:
+
+* :mod:`repro.analysis.hbmodel` — the per-API happens-before model
+  derived from the spec,
+* :mod:`repro.analysis.ordering` — ``CAVA4xx`` ordering-hazard
+  diagnostics over that model (plus the ``CAVA308``/``CAVA309``
+  generated-code agreement checks in :mod:`repro.analysis.genast`),
+* :mod:`repro.analysis.sanitizer` — the ``CAVA_SANITIZE=1`` runtime
+  checker that asserts actual dispatch behaviour linearizes against
+  the static model.
+
 Findings carry stable codes and can be suppressed, with a mandatory
 justification, through ``.lint`` files
 (:mod:`repro.analysis.suppressions`).
@@ -21,9 +32,11 @@ from repro.analysis.diagnostics import (
     Severity,
 )
 from repro.analysis.dataflow import analyze_dataflow
-from repro.analysis.genast import analyze_generated
+from repro.analysis.genast import analyze_generated, analyze_generated_ordering
+from repro.analysis.hbmodel import HBModel, build_hb_model
 from repro.analysis.lifecycle import analyze_lifecycle, collect_handle_facts
 from repro.analysis.lint import lint_path, lint_spec
+from repro.analysis.ordering import analyze_ordering, race_path, race_spec
 from repro.analysis.suppressions import (
     SuppressionFile,
     apply_suppressions,
@@ -34,16 +47,22 @@ from repro.analysis.suppressions import (
 __all__ = [
     "CODE_TABLE",
     "Diagnostic",
+    "HBModel",
     "LintReport",
     "Severity",
     "SuppressionFile",
     "analyze_dataflow",
     "analyze_generated",
+    "analyze_generated_ordering",
     "analyze_lifecycle",
+    "analyze_ordering",
     "apply_suppressions",
+    "build_hb_model",
     "collect_handle_facts",
     "lint_path",
     "lint_spec",
     "parse_suppression_file",
     "parse_suppressions",
+    "race_path",
+    "race_spec",
 ]

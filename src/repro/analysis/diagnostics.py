@@ -6,7 +6,8 @@ output is diffable and suppressions survive message rewording:
 * ``CAVA0xx`` — meta (suppression-file problems),
 * ``CAVA1xx`` — expression/buffer dataflow,
 * ``CAVA2xx`` — handle-lifecycle abstract interpretation,
-* ``CAVA3xx`` — generated-code AST verification.
+* ``CAVA3xx`` — generated-code AST verification,
+* ``CAVA4xx`` — happens-before ordering hazards (``cava race``).
 
 A :class:`Diagnostic` names a *subject* — the function, ``function.param``
 slot, or handle type it is about — which is also the key the suppression
@@ -89,6 +90,28 @@ CODE_TABLE: Dict[str, tuple] = {
     "CAVA307": (Severity.ERROR,
                 "reply shrink reads .value of a local that is not an "
                 "out-scalar box"),
+    "CAVA308": (Severity.ERROR,
+                "generated guest stub's forwarding mode disagrees with "
+                "the spec's sync classification (flush-before-sync "
+                "discipline bypassed)"),
+    "CAVA309": (Severity.ERROR,
+                "generated routing module's ordering metadata disagrees "
+                "with the spec's happens-before model"),
+    # happens-before ordering (cava race)
+    "CAVA401": (Severity.ERROR,
+                "async-capable call registers observable outputs but the "
+                "API defines no sync point to order their consumption"),
+    "CAVA402": (Severity.WARNING,
+                "non-commuting async command pair: batch coalescing may "
+                "reorder conflicting buffer accesses with no intervening "
+                "sync point"),
+    "CAVA403": (Severity.WARNING,
+                "async release can be reordered past an async use of the "
+                "same handle type inside an unflushed batch"),
+    "CAVA404": (Severity.WARNING,
+                "stale-elision hazard: the transfer cache may "
+                "digest-match a buffer a pending unflushed batch still "
+                "mutates"),
 }
 
 
@@ -141,6 +164,8 @@ class LintReport:
     suppressed: List[tuple] = field(default_factory=list)  # (diag, why)
     #: per-layer count of invariants that were checked and held
     checks_passed: Dict[str, int] = field(default_factory=dict)
+    #: which subcommand produced the report ("lint" or "race")
+    tool: str = "lint"
 
     def extend(self, layer: str, diags: List[Diagnostic],
                passed: int = 0) -> None:
@@ -179,7 +204,7 @@ class LintReport:
     def format(self, verbose: bool = False) -> str:
         total_checks = sum(self.checks_passed.values())
         lines = [
-            f"lint {self.api!r}: {total_checks} invariants checked, "
+            f"{self.tool} {self.api!r}: {total_checks} invariants checked, "
             f"{self.count(Severity.ERROR)} errors, "
             f"{self.count(Severity.WARNING)} warnings, "
             f"{len(self.suppressed)} suppressed"
@@ -196,6 +221,7 @@ class LintReport:
     def to_json(self) -> str:
         document = {
             "api": self.api,
+            "tool": self.tool,
             "spec": self.spec_path,
             "checks_passed": dict(sorted(self.checks_passed.items())),
             "diagnostics": [d.to_json() for d in self.sorted_diagnostics()],

@@ -19,7 +19,16 @@ produced it:
 * guest ``FUNCTIONS``, server ``DISPATCH`` and the routing table agree
   on the function set (CAVA306),
 * a reply shrink reads ``.value`` only from a local constructed as an
-  out-scalar box (CAVA307).
+  out-scalar box (CAVA307),
+* every guest stub routes through ``GuestRuntime.submit`` with a
+  ``_mode`` that matches the spec's sync classification, so the
+  runtime's flush-before-sync discipline fires for every sync-capable
+  call (CAVA308),
+* the routing module carries ordering metadata (``ORDERING`` /
+  ``SYNC_POINTS``) agreeing with the spec's happens-before model and
+  attaches it to the built table, so the router and sanitizer can
+  verify per-VM program order across ``CommandBatch`` unbundling
+  (CAVA309).
 
 Because the checks run on source text, tests can also feed tampered
 sources to prove each invariant actually bites — the checker is the
@@ -49,6 +58,11 @@ class _GuestStub:
     name: str
     encode_order: List[str] = field(default_factory=list)
     const_mode: Optional[str] = None
+    #: a ``_mode = …`` assignment exists (constant or conditional)
+    mode_assigned: bool = False
+    #: the stub returns through ``_rt.submit(...)`` — the only path on
+    #: which the runtime's flush-before-sync discipline can fire
+    submits_via_runtime: bool = False
     #: (dict_name, param, inside_none_guard) for reply-output registration
     out_stores: List[Tuple[str, str, bool]] = field(default_factory=list)
     size_asserted: Set[str] = field(default_factory=set)
@@ -103,7 +117,14 @@ def _scan_guest_function(fn: ast.FunctionDef) -> _GuestStub:
                     if dict_name in ("_out_sizes", "_out_targets"):
                         stub.out_stores.append((dict_name, key, guarded))
             elif isinstance(target, ast.Name) and target.id == "_mode":
+                stub.mode_assigned = True
                 stub.const_mode = _const_str(node.value)
+        if (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "submit"
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == "_rt"):
+            stub.submits_via_runtime = True
         if isinstance(node, ast.Expr) and isinstance(node.value, ast.Call):
             call = node.value
             if (isinstance(call.func, ast.Name)
@@ -418,4 +439,169 @@ def analyze_generated(
     diags.extend(_check_raises(guest_tree, "guest"))
     diags.extend(_check_raises(server_tree, "server"))
     diags.extend(_check_raises(routing_tree, "routing"))
+
+    # -- CAVA308/309: the generated stack honours the HB model -----------
+    ordering_diags, ordering_checks = analyze_generated_ordering(
+        spec, native_module, sources=sources)
+    diags.extend(ordering_diags)
+    checks += ordering_checks
+    return diags, checks
+
+
+def _routing_ordering_metadata(routing_tree: ast.Module):
+    """(ORDERING dict, SYNC_POINTS list, attached attrs) from the AST."""
+    ordering: Optional[Dict[str, str]] = None
+    sync_points: Optional[List[str]] = None
+    for node in routing_tree.body:
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)):
+            continue
+        name = node.targets[0].id
+        if name == "ORDERING" and isinstance(node.value, ast.Dict):
+            ordering = {}
+            for key, value in zip(node.value.keys, node.value.values):
+                k, v = _const_str(key), _const_str(value)
+                if k is not None and v is not None:
+                    ordering[k] = v
+        elif name == "SYNC_POINTS" and isinstance(node.value, ast.List):
+            sync_points = [
+                element.value for element in node.value.elts
+                if isinstance(element, ast.Constant)
+            ]
+    attached: Set[str] = set()
+    for node in ast.walk(routing_tree):
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+                and isinstance(node.targets[0].value, ast.Name)
+                and node.targets[0].value.id == "table"):
+            attached.add(node.targets[0].attr)
+    return ordering, sync_points, attached
+
+
+def analyze_generated_ordering(
+    spec: ApiSpec,
+    native_module: str = "repro.analysis.native_placeholder",
+    sources: Optional[GeneratedSources] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """CAVA308/309 — the generated stack must respect the HB model.
+
+    The guest runtime flushes queued async work before any command it
+    submits with ``_mode == 'sync'`` crosses the channel; the router
+    preserves per-VM program order across ``CommandBatch`` unbundling
+    using only its routing table.  Both disciplines key on generated
+    artifacts, so both are verifiable by AST inspection:
+
+    * CAVA308 — every supported guest stub returns through
+      ``GuestRuntime.submit`` (never a direct transport call) and its
+      ``_mode`` agrees with the spec's sync classification: a constant
+      ``'sync'``/``'async'`` for unconditional policies, a computed
+      expression for conditional ones.
+    * CAVA309 — the routing module's ``ORDERING`` / ``SYNC_POINTS``
+      constants match the classifications derived from the spec, and
+      ``build_table`` attaches them to the constructed table.
+    """
+    if sources is None:
+        sources = generate_sources(spec, native_module)
+    diags: List[Diagnostic] = []
+    checks = 0
+
+    guest_tree = ast.parse(sources.guest_source)
+    routing_tree = ast.parse(sources.routing_source)
+
+    guest_stubs: Dict[str, _GuestStub] = {}
+    for node in ast.walk(guest_tree):
+        if isinstance(node, ast.ClassDef) and node.name == "GuestLibrary":
+            for item in node.body:
+                if (isinstance(item, ast.FunctionDef)
+                        and not item.name.startswith("_")):
+                    guest_stubs[item.name] = _scan_guest_function(item)
+
+    supported = [
+        name for name in sorted(spec.functions)
+        if not spec.functions[name].unsupported
+    ]
+
+    for fname in supported:
+        func = spec.functions[fname]
+        stub = guest_stubs.get(fname)
+        if stub is None:
+            continue  # CAVA306 reports function-set drift
+        checks += 1
+        expected = func.sync_policy.classification()
+        if not stub.submits_via_runtime:
+            diags.append(Diagnostic(
+                "CAVA308", fname,
+                f"guest stub for {fname!r} does not route through "
+                f"GuestRuntime.submit; queued async work cannot be "
+                f"flushed before this call crosses the channel",
+            ))
+        elif expected == "conditional":
+            if not stub.mode_assigned or stub.const_mode is not None:
+                got = (f"constant {stub.const_mode!r}"
+                       if stub.const_mode is not None else "no _mode")
+                diags.append(Diagnostic(
+                    "CAVA308", fname,
+                    f"spec classifies {fname!r} as conditional but the "
+                    f"guest stub forwards with {got}; the sync branch "
+                    f"would never trigger the runtime's "
+                    f"flush-before-sync barrier",
+                ))
+        elif stub.const_mode != expected:
+            diags.append(Diagnostic(
+                "CAVA308", fname,
+                f"spec classifies {fname!r} as {expected!r} but the "
+                f"guest stub submits with _mode = "
+                f"{stub.const_mode!r}; the runtime's flush-before-sync "
+                f"discipline keys on this mode",
+            ))
+
+    expected_ordering = {
+        fname: spec.functions[fname].sync_policy.classification()
+        for fname in supported
+    }
+    expected_sync_points = sorted(
+        fname for fname in supported
+        if spec.functions[fname].sync_policy.modes()[0]
+    )
+    ordering, sync_points, attached = \
+        _routing_ordering_metadata(routing_tree)
+
+    checks += 1
+    if ordering != expected_ordering:
+        missing = sorted(set(expected_ordering) - set(ordering or {}))
+        wrong = sorted(
+            name for name in (ordering or {})
+            if expected_ordering.get(name) != ordering[name]
+        )
+        detail = []
+        if ordering is None:
+            detail.append("no ORDERING constant")
+        else:
+            if missing:
+                detail.append(f"missing {missing}")
+            if wrong:
+                detail.append(f"misclassified {wrong}")
+        diags.append(Diagnostic(
+            "CAVA309", spec.name,
+            f"routing module's ORDERING metadata diverges from the "
+            f"spec's happens-before model: "
+            + ("; ".join(detail) or "unexpected entries"),
+        ))
+
+    checks += 1
+    if sync_points != expected_sync_points:
+        diags.append(Diagnostic(
+            "CAVA309", spec.name,
+            f"routing module's SYNC_POINTS {sync_points!r} != the "
+            f"spec's sync-capable set {expected_sync_points!r}",
+        ))
+
+    checks += 1
+    if not {"ordering", "sync_points"} <= attached:
+        diags.append(Diagnostic(
+            "CAVA309", spec.name,
+            "build_table() does not attach the ordering metadata "
+            "(table.ordering / table.sync_points) to the constructed "
+            "routing table; the router and sanitizer cannot see it",
+        ))
     return diags, checks

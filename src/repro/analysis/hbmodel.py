@@ -1,0 +1,203 @@
+"""Per-API happens-before model, derived from the specification.
+
+Since PR 4 the runtime reorders and elides real work: async commands
+queue guest-side and cross the channel as one batch, cached refs elide
+payload bytes, and the pool steals items across devices.  All of that
+is only sound because the *spec* pins down an ordering contract:
+
+* every call is classified ``sync`` / ``async`` / ``conditional``
+  (:meth:`repro.spec.model.SyncPolicy.classification`),
+* sync-capable calls are **sync points** — the guest runtime flushes
+  every queued async command before a blocking call crosses the
+  channel, so a sync point is a happens-before barrier in program
+  order,
+* handle producer/consumer edges (produce → use → release, from the
+  lifecycle facts) order operations on the same object,
+* buffer parameters carry in/out **access sets**: an ``in`` buffer
+  pushes guest bytes into device-visible state, an ``out`` buffer pulls
+  device state back into guest memory at reply-application time.
+
+:func:`build_hb_model` distills those facts into an :class:`HBModel`;
+:mod:`repro.analysis.ordering` interprets it to emit the CAVA40x
+diagnostics, the CAVA308/309 AST checks hold the *generated* stack to
+it, and :mod:`repro.analysis.sanitizer` checks recorded dispatch orders
+linearize against it at runtime.
+
+Alias classes are deliberately the same conservative approximation the
+dataflow layer uses (same base C type at the same pointer depth may
+alias); the model errs toward reporting, and suppressions carry the
+justification when a transport-level invariant discharges the hazard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.analysis.lifecycle import HandleTypeFacts, collect_handle_facts
+from repro.codegen.classify import ParamClass, classify_param
+from repro.spec.model import ApiSpec
+
+#: parameter classes that constitute a buffer access in the HB model
+_BUFFER_CLASSES = {
+    ParamClass.BUFFER_IN, ParamClass.BUFFER_OUT, ParamClass.BUFFER_INOUT,
+    ParamClass.ANYVALUE, ParamClass.STRING,
+}
+
+#: parameter classes registering an observable (reply-dependent) output
+_OBSERVABLE_OUT = {
+    ParamClass.BUFFER_OUT, ParamClass.BUFFER_INOUT,
+    ParamClass.SCALAR_BOX_OUT, ParamClass.HANDLE_BOX_OUT,
+    ParamClass.HANDLE_ARRAY_OUT,
+}
+
+
+@dataclass(frozen=True)
+class BufferAccess:
+    """One buffer parameter's contribution to a function's access set."""
+
+    function: str
+    param: str
+    #: "in" pushes guest bytes to device state, "out" pulls device state
+    #: back into guest memory at reply time, "inout" does both
+    direction: str
+    #: conservative may-alias key: ``<base C type>*<pointer depth>``
+    alias_class: str
+    #: eligible for transfer-cache digesting (in-direction payloads)
+    cacheable: bool = False
+
+    @property
+    def writes_device(self) -> bool:
+        return self.direction in ("in", "inout")
+
+    @property
+    def writes_guest(self) -> bool:
+        return self.direction in ("out", "inout")
+
+
+@dataclass
+class HBFunction:
+    """Everything the happens-before model knows about one function."""
+
+    name: str
+    classification: str          # "sync" | "async" | "conditional"
+    can_sync: bool
+    can_async: bool
+    #: parameter names whose payload only lands at reply application
+    observable_outputs: List[str] = field(default_factory=list)
+    accesses: List[BufferAccess] = field(default_factory=list)
+    #: handle types this function uses (reads) / releases (destroys)
+    handle_uses: Set[str] = field(default_factory=set)
+    handle_releases: Set[str] = field(default_factory=set)
+
+
+@dataclass
+class HBModel:
+    """The per-API happens-before model the CAVA4xx analyses interpret."""
+
+    api: str
+    functions: Dict[str, HBFunction] = field(default_factory=dict)
+    #: sync-capable functions — program-order barriers when called sync
+    sync_points: List[str] = field(default_factory=list)
+    handle_facts: Dict[str, HandleTypeFacts] = field(default_factory=dict)
+
+    def async_capable(self) -> List[HBFunction]:
+        return [f for f in self.functions.values() if f.can_async]
+
+    def conflicts(self, first: str, second: str
+                  ) -> List[Tuple[BufferAccess, BufferAccess]]:
+        """Conflicting access pairs between two functions (or one with
+        itself): same alias class, not both pure reads of device state."""
+        fa = self.functions[first].accesses
+        fb = self.functions[second].accesses
+        pairs = []
+        for a in fa:
+            for b in fb:
+                if a.alias_class != b.alias_class:
+                    continue
+                if a.writes_device or b.writes_device:
+                    pairs.append((a, b))
+        return pairs
+
+    def commutes(self, first: str, second: str) -> bool:
+        """May two staged async invocations swap without observable
+        difference?  False on any buffer conflict or on a release racing
+        a use/release of a handle type both functions touch."""
+        if self.conflicts(first, second):
+            return False
+        fa = self.functions[first]
+        fb = self.functions[second]
+        if fa.handle_releases & (fb.handle_uses | fb.handle_releases):
+            return False
+        if fb.handle_releases & (fa.handle_uses | fa.handle_releases):
+            return False
+        return True
+
+    def noncommuting_pairs(self) -> Set[Tuple[str, str]]:
+        """Sorted (f, g) pairs of async-capable functions that may both
+        sit in one unflushed batch region and do not commute."""
+        names = sorted(f.name for f in self.async_capable())
+        found: Set[Tuple[str, str]] = set()
+        for i, f in enumerate(names):
+            for g in names[i:]:
+                if not self.commutes(f, g):
+                    found.add((f, g))
+        return found
+
+
+def _alias_class(ctype) -> str:
+    return f"{ctype.base}*{ctype.pointer_depth}"
+
+
+def build_hb_model(spec: ApiSpec) -> HBModel:
+    """Distill ``spec`` into its happens-before model."""
+    model = HBModel(api=spec.name, handle_facts=collect_handle_facts(spec))
+    for fname in sorted(spec.functions):
+        func = spec.functions[fname]
+        if func.unsupported:
+            continue
+        can_sync, can_async = func.sync_policy.modes()
+        info = HBFunction(
+            name=fname,
+            classification=func.sync_policy.classification(),
+            can_sync=can_sync,
+            can_async=can_async,
+        )
+        for param in func.params:
+            cls = classify_param(spec, param)
+            if cls in _OBSERVABLE_OUT:
+                info.observable_outputs.append(param.name)
+            if cls in _BUFFER_CLASSES:
+                if cls is ParamClass.ANYVALUE:
+                    direction = "in"
+                elif cls is ParamClass.STRING:
+                    direction = "in"
+                elif cls is ParamClass.BUFFER_INOUT:
+                    direction = "inout"
+                elif cls is ParamClass.BUFFER_OUT:
+                    direction = "out"
+                else:
+                    direction = "in"
+                info.accesses.append(BufferAccess(
+                    function=fname,
+                    param=param.name,
+                    direction=direction,
+                    alias_class=_alias_class(param.ctype),
+                    # the guest digests in-direction payloads (buffers,
+                    # anyvalue bytes, strings); see _elide_payloads
+                    cacheable=direction in ("in", "inout"),
+                ))
+        if can_sync:
+            model.sync_points.append(fname)
+        model.functions[fname] = info
+
+    for type_name, facts in model.handle_facts.items():
+        for op in facts.ops:
+            info = model.functions.get(op.function)
+            if info is None:
+                continue
+            if op.kind == "release":
+                info.handle_releases.add(type_name)
+            elif op.kind == "use":
+                info.handle_uses.add(type_name)
+    return model

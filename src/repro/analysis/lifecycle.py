@@ -36,7 +36,7 @@ from typing import Dict, List, Set, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.codegen.classify import ParamClass, classify_param, classify_return
-from repro.spec.model import ApiSpec, FunctionSpec, SyncMode
+from repro.spec.model import ApiSpec, FunctionSpec
 
 
 class HandleState(enum.Enum):
@@ -70,12 +70,7 @@ class HandleTypeFacts:
 
 def _policy_modes(func: FunctionSpec) -> Tuple[bool, bool]:
     """(can_sync, can_async) for a function's forwarding policy."""
-    policy = func.sync_policy
-    if policy.condition is None:
-        return (policy.default is SyncMode.SYNC,
-                policy.default is SyncMode.ASYNC)
-    modes = {policy.default, policy.mode_if_true}
-    return (SyncMode.SYNC in modes, SyncMode.ASYNC in modes)
+    return func.sync_policy.modes()
 
 
 def collect_handle_facts(spec: ApiSpec) -> Dict[str, HandleTypeFacts]:

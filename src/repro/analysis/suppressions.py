@@ -74,9 +74,14 @@ def parse_suppressions(text: str, path: str = "<suppressions>"
             continue
         code, subject = parts
         if code not in CODE_TABLE:
+            # a typo'd code (CAVA4O1 for CAVA401) is not malformed
+            # syntax — it is an entry that can never match anything,
+            # which is exactly what CAVA002 exists to flag
             result.problems.append(Diagnostic(
-                "CAVA001", where,
-                f"suppression names unknown diagnostic code {code!r}",
+                "CAVA002", where,
+                f"suppression names unregistered diagnostic code "
+                f"{code!r}; it can never match a finding (registered "
+                f"codes live in repro.analysis.diagnostics.CODE_TABLE)",
                 layer="meta",
             ))
             continue
@@ -98,17 +103,30 @@ def parse_suppressions(text: str, path: str = "<suppressions>"
 
 
 def apply_suppressions(report: LintReport,
-                       suppressions: Optional[SuppressionFile]) -> None:
-    """Move matched diagnostics into ``report.suppressed`` in place."""
+                       suppressions: Optional[SuppressionFile],
+                       families: Optional[Tuple[str, ...]] = None) -> None:
+    """Move matched diagnostics into ``report.suppressed`` in place.
+
+    ``families`` restricts which entries this analysis *owns*: only
+    entries whose code starts with one of the given prefixes are applied
+    and checked for staleness.  ``cava lint`` and ``cava race`` share
+    one ``.lint`` file, so each must leave the other's entries alone —
+    a CAVA402 suppression is not "stale" just because ``cava lint``
+    (which never emits CAVA402) did not use it.
+    """
     if suppressions is None:
         return
+    entries = suppressions.entries
+    if families is not None:
+        entries = [e for e in entries
+                   if any(e.code.startswith(p) for p in families)]
     report.extend("meta", list(suppressions.problems),
-                  passed=len(suppressions.entries))
+                  passed=len(entries))
     remaining: List[Diagnostic] = []
     kept: List[Tuple[Diagnostic, str]] = []
     for diag in report.diagnostics:
         entry = next(
-            (e for e in suppressions.entries if e.matches(diag)), None)
+            (e for e in entries if e.matches(diag)), None)
         if entry is not None and diag.layer != "meta":
             entry.used = True
             kept.append((diag, entry.justification))
@@ -116,7 +134,7 @@ def apply_suppressions(report: LintReport,
             remaining.append(diag)
     report.diagnostics = remaining
     report.suppressed.extend(kept)
-    for entry in suppressions.entries:
+    for entry in entries:
         if not entry.used:
             report.extend("meta", [Diagnostic(
                 "CAVA002", f"{entry.path}:{entry.line}",

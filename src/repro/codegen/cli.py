@@ -109,6 +109,27 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if all(r.gate(args.fail_on) for r in reports) else 1
 
 
+def _cmd_race(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import race_path
+
+    reports = [
+        race_path(spec, suppress_path=args.suppress)
+        for spec in args.specs
+    ]
+    if args.json:
+        if len(reports) == 1:
+            print(reports[0].to_json())
+        else:
+            print(json.dumps(
+                [json.loads(r.to_json()) for r in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.format(verbose=args.verbose))
+    return 0 if all(r.gate(args.fail_on) for r in reports) else 1
+
+
 def _cmd_effort(args: argparse.Namespace) -> int:
     from repro.harness.effort import effort_rows, measure_effort
     from repro.harness.report import format_table
@@ -173,14 +194,17 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     seed = args.seed
     if seed is None:
         seed = int(os.environ.get("CAVA_CHAOS_SEED", "1234"))
+    sanitize = args.sanitize or os.environ.get("CAVA_SANITIZE") == "1"
     if args.mode == "each":
         reports = run_all_modes(seed=seed, workload=args.workload,
-                                scale=args.scale, batching=args.batching)
+                                scale=args.scale, batching=args.batching,
+                                sanitize=sanitize)
         for report in reports.values():
             print(report.format())
         return 0 if all(r.contained for r in reports.values()) else 1
     report = run_chaos(mode=args.mode, seed=seed, workload=args.workload,
-                       scale=args.scale, batching=args.batching)
+                       scale=args.scale, batching=args.batching,
+                       sanitize=sanitize)
     print(report.format())
     return 0 if report.contained else 1
 
@@ -275,6 +299,26 @@ def build_parser() -> argparse.ArgumentParser:
                       help="also list suppressed findings")
     lint.set_defaults(func=_cmd_lint)
 
+    race = sub.add_parser(
+        "race",
+        help="happens-before ordering analysis: CAVA40x async-reordering "
+             "hazards plus generated-code agreement checks "
+             "(docs/linting.md)",
+    )
+    race.add_argument("specs", nargs="+", metavar="spec",
+                      help="one or more .cava files")
+    race.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    race.add_argument("--fail-on", choices=["error", "warning"],
+                      default="error",
+                      help="severity threshold gating the exit code")
+    race.add_argument("--suppress", default=None,
+                      help="suppression file (default: <spec>.lint "
+                           "next to each spec, if present)")
+    race.add_argument("-v", "--verbose", action="store_true",
+                      help="also list suppressed findings")
+    race.set_defaults(func=_cmd_race)
+
     effort = sub.add_parser(
         "effort", help="developer-effort metrics for a shipped API (§5)"
     )
@@ -339,6 +383,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "into batched wire frames")
     chaos.add_argument("--scale", type=float, default=0.06,
                        help="workload scale factor")
+    chaos.add_argument("--sanitize", action="store_true",
+                       help="arm the runtime ordering/invariant "
+                            "sanitizer (same as CAVA_SANITIZE=1); "
+                            "virtual-time results stay bit-identical")
     chaos.set_defaults(func=_cmd_chaos)
 
     xfer = sub.add_parser(

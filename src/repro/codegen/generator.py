@@ -34,6 +34,11 @@ class GeneratedSources:
     guest_source: str
     server_source: str
     routing_source: str
+    #: per-function sync classification ("sync"/"async"/"conditional"),
+    #: the happens-before contract the generated modules embed (the
+    #: routing module's ORDERING constant mirrors it; CAVA309 checks
+    #: they agree)
+    ordering: Dict[str, str] = field(default_factory=dict)
 
     def total_lines(self) -> int:
         return sum(
@@ -72,6 +77,11 @@ def generate_sources(spec: ApiSpec, native_module: str) -> GeneratedSources:
         guest_source=generate_guest_module(spec),
         server_source=generate_server_module(spec, native_module),
         routing_source=generate_routing_module(spec),
+        ordering={
+            name: func.sync_policy.classification()
+            for name, func in sorted(spec.functions.items())
+            if not func.unsupported
+        },
     )
 
 

@@ -110,6 +110,7 @@ def run_chaos(
     scale: float = 0.06,
     bystander: bool = True,
     batching: bool = False,
+    sanitize: bool = False,
 ) -> ChaosReport:
     """Run one workload through a fully armed fault plan.
 
@@ -117,9 +118,14 @@ def run_chaos(
     ``workload`` names any OpenCL workload (``bfs``, ``gaussian``...).
     ``batching`` coalesces the victim VM's async commands into batched
     wire frames, so every fault mode also exercises the atomic
-    whole-frame failure path.  Raises only if the failure-path invariant
-    is broken — structured failures are part of a normal report.
+    whole-frame failure path.  ``sanitize`` arms the runtime
+    ordering/invariant sanitizer for the run (a
+    :class:`~repro.analysis.sanitizer.SanitizerError` escaping means the
+    stack itself is broken — it is never a structured workload failure).
+    Raises only if the failure-path invariant is broken — structured
+    failures are part of a normal report.
     """
+    from repro.analysis import sanitizer as _sanitize
     from repro.guest.batching import BatchPolicy
     from repro.guest.library import RemotingError
     from repro.stack import make_hypervisor
@@ -133,71 +139,81 @@ def run_chaos(
             f"unknown workload {workload!r}; choose from {sorted(classes)}"
         )
 
-    hypervisor = make_hypervisor(apis=("opencl",))
-    plan = FaultPlan.for_mode(mode, seed=seed)
-    hypervisor.install_fault_plan(plan)
-    batch_policy = BatchPolicy() if batching else None
-    victim = hypervisor.create_vm("chaos-vm", batch_policy=batch_policy)
-    observer = hypervisor.create_vm("bystander-vm") if bystander else None
-
-    completed = verified = False
-    error: Optional[str] = None
+    if sanitize:
+        _sanitize.install(_sanitize.Sanitizer())
     try:
-        result = workload_cls(scale=scale).run(victim.library("opencl"))
-        victim.flush()
-        completed, verified = True, result.verified
-    except (RemotingError, WorkloadError) as err:
-        error = str(err)
+        hypervisor = make_hypervisor(apis=("opencl",))
+        plan = FaultPlan.for_mode(mode, seed=seed)
+        hypervisor.install_fault_plan(plan)
+        batch_policy = BatchPolicy() if batching else None
+        victim = hypervisor.create_vm("chaos-vm",
+                                      batch_policy=batch_policy)
+        observer = (hypervisor.create_vm("bystander-vm")
+                    if bystander else None)
 
-    recovered: Optional[bool] = None
-    if ("chaos-vm", "opencl") in hypervisor.lost_workers:
-        hypervisor.restart_worker("chaos-vm", "opencl")
+        completed = verified = False
+        error: Optional[str] = None
         try:
-            rerun = workload_cls(scale=scale).run(victim.library("opencl"))
-            recovered = rerun.verified
-        except (RemotingError, WorkloadError):
-            recovered = False
+            result = workload_cls(scale=scale).run(
+                victim.library("opencl"))
+            victim.flush()
+            completed, verified = True, result.verified
+        except (RemotingError, WorkloadError) as err:
+            error = str(err)
 
-    bystander_verified: Optional[bool] = None
-    if observer is not None:
-        try:
-            second = workload_cls(scale=scale).run(
-                observer.library("opencl")
-            )
-            bystander_verified = second.verified
-        except (RemotingError, WorkloadError):
-            bystander_verified = False
+        recovered: Optional[bool] = None
+        if ("chaos-vm", "opencl") in hypervisor.lost_workers:
+            hypervisor.restart_worker("chaos-vm", "opencl")
+            try:
+                rerun = workload_cls(scale=scale).run(
+                    victim.library("opencl"))
+                recovered = rerun.verified
+            except (RemotingError, WorkloadError):
+                recovered = False
 
-    router = hypervisor.router
-    runtime = victim.runtimes.get("opencl")
-    return ChaosReport(
-        mode=mode,
-        seed=seed,
-        workload=workload,
-        completed=completed,
-        verified=verified,
-        error=error,
-        recovered_after_restart=recovered,
-        bystander_verified=bystander_verified,
-        injected=plan.counts(),
-        retries=runtime.retries if runtime is not None else 0,
-        giveups=runtime.giveups if runtime is not None else 0,
-        server_lost=router.metrics_for("chaos-vm").server_lost,
-        rejected=router.metrics_for("chaos-vm").rejected,
-        unknown_rejections=router.unknown_rejections,
-        malformed_frames=router.malformed_frames,
-        breaker_trips=sum(
-            state.tripped for state in router.breakers.values()
-        ),
-    )
+        bystander_verified: Optional[bool] = None
+        if observer is not None:
+            try:
+                second = workload_cls(scale=scale).run(
+                    observer.library("opencl")
+                )
+                bystander_verified = second.verified
+            except (RemotingError, WorkloadError):
+                bystander_verified = False
+
+        router = hypervisor.router
+        runtime = victim.runtimes.get("opencl")
+        return ChaosReport(
+            mode=mode,
+            seed=seed,
+            workload=workload,
+            completed=completed,
+            verified=verified,
+            error=error,
+            recovered_after_restart=recovered,
+            bystander_verified=bystander_verified,
+            injected=plan.counts(),
+            retries=runtime.retries if runtime is not None else 0,
+            giveups=runtime.giveups if runtime is not None else 0,
+            server_lost=router.metrics_for("chaos-vm").server_lost,
+            rejected=router.metrics_for("chaos-vm").rejected,
+            unknown_rejections=router.unknown_rejections,
+            malformed_frames=router.malformed_frames,
+            breaker_trips=sum(
+                state.tripped for state in router.breakers.values()
+            ),
+        )
+    finally:
+        if sanitize:
+            _sanitize.uninstall()
 
 
 def run_all_modes(seed: int = 1234, workload: str = "bfs",
-                  scale: float = 0.06,
-                  batching: bool = False) -> Dict[str, ChaosReport]:
+                  scale: float = 0.06, batching: bool = False,
+                  sanitize: bool = False) -> Dict[str, ChaosReport]:
     """One report per fault mode plus the mixed ``all`` preset."""
     return {
         mode: run_chaos(mode=mode, seed=seed, workload=workload,
-                        scale=scale, batching=batching)
+                        scale=scale, batching=batching, sanitize=sanitize)
         for mode in tuple(MODES) + ("all",)
     }

@@ -43,6 +43,13 @@ class BatchPolicy:
     max_bytes: int = 256 * 1024
     enabled: bool = True
     queue_cost: float = 0.05e-6
+    #: flush the queue before sync-classified calls.  True is the
+    #: flush-before-sync discipline the CAVA40x happens-before model
+    #: assumes (and CAVA308 verifies generated stubs preserve); False
+    #: deliberately breaks it — a chaos knob for seeding ordering
+    #: violations that the CAVA_SANITIZE=1 runtime checks must catch.
+    #: Never disable it outside sanitizer tests.
+    flush_before_sync: bool = True
 
     def __post_init__(self) -> None:
         if self.max_commands < 1:

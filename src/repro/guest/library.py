@@ -258,10 +258,14 @@ class GuestRuntime:
         # call register_callback immediately before submit)
         wants_callback = self._callback_armed
         self._callback_armed = False
-        if self._queue and mode == "sync":
+        if self._queue and mode == "sync" and (
+                self.batch_policy is None
+                or self.batch_policy.flush_before_sync):
             # synchronization point: queued async work crosses the
             # channel ahead of the blocking call, preserving program
-            # order and the deferred-error contract
+            # order and the deferred-error contract.  (flush_before_sync
+            # is only ever False in sanitizer tests that seed ordering
+            # violations on purpose.)
             self._flush("sync")
         elided: Dict[str, Tuple[str, Any, bytes, int]] = {}
         sent_digests: List[Tuple[bytes, int]] = []

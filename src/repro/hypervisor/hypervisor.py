@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, ContextManager, Dict, Optional, Tuple
 
+from repro.analysis import sanitizer as _sanitize
 from repro.faults.errors import WorkerLost
 from repro.faults.plan import FaultPlan
 from repro.telemetry import flightrec
@@ -61,6 +62,10 @@ class Hypervisor:
     def __init__(self, policy: Optional[ResourcePolicy] = None,
                  batch_policy: Optional[Any] = None,
                  cache_policy: Optional[CachePolicy] = None) -> None:
+        # arm the runtime sanitizer when the environment asks for it
+        # (CAVA_SANITIZE=1); otherwise the NOOP stays installed and
+        # every hook site is a single attribute check
+        _sanitize.maybe_install_from_env()
         self.policy = policy or ResourcePolicy()
         #: default async-coalescing policy for new VMs (None = per-call)
         self.batch_policy = batch_policy
@@ -266,6 +271,16 @@ class Hypervisor:
             store.clear("worker restarted")
         worker = self._spawn_worker(vm_id, registration)
         self.workers[key] = worker
+        san = _sanitize.active()
+        if san.enabled:
+            # crash/restart consistency: the fresh worker must hold no
+            # handles, and the VM's transfer store must have dropped the
+            # dead server's payloads
+            san.check_worker_reset(
+                vm_id, api_name,
+                live_handles=len(worker.handles),
+                store_entries=len(store) if store is not None else None,
+            )
         return worker
 
     def _spawn_worker(self, vm_id: str,

@@ -35,6 +35,7 @@ from repro.hypervisor.scheduler import (
     StreamStats,
     WorkItem,
 )
+from repro.analysis import sanitizer as _sanitize
 from repro.telemetry import tracer as _tele
 
 #: baseline host↔device bandwidth used to convert transfer bytes into
@@ -652,6 +653,17 @@ class PoolScheduler:
             else:
                 next_submit[chosen] = end + item.think_time
             release_cache[chosen] = None
+
+        san = _sanitize.active()
+        if san.enabled:
+            # conservation: nominal device time billed to VMs must equal
+            # nominal device time the devices account — work is neither
+            # invented nor lost by placement or stealing
+            san.check_pool_conservation(
+                sum(entry.device_time for entry in stats.values()),
+                sum(dstats.nominal_time
+                    for dstats in device_stats.values()),
+            )
 
         return PoolRunResult(
             vm_stats=stats,

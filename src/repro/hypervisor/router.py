@@ -28,6 +28,7 @@ from repro.remoting.codec import (
     decode_message,
     encode_message,
 )
+from repro.analysis import sanitizer as _sanitize
 from repro.spec.expr import Evaluator, Expr
 from repro.spec.model import ApiSpec, RecordKind
 from repro.telemetry import flightrec as _flightrec
@@ -57,6 +58,12 @@ class RoutingTable:
     functions: Dict[str, RoutingInfo] = field(default_factory=dict)
     constants: Dict[str, float] = field(default_factory=dict)
     sizeof_table: Dict[str, int] = field(default_factory=dict)
+    #: per-function sync classification ("sync"/"async"/"conditional")
+    #: distilled from the spec — the happens-before contract CAVA309
+    #: checks the generated routing module against
+    ordering: Dict[str, str] = field(default_factory=dict)
+    #: functions that can act as sync points (sync-capable calls)
+    sync_points: List[str] = field(default_factory=list)
 
     @classmethod
     def from_spec(cls, spec: ApiSpec) -> "RoutingTable":
@@ -70,6 +77,10 @@ class RoutingTable:
                 record_kind=func.record_kind,
                 resources=dict(func.resources),
             )
+            table.ordering[func.name] = func.sync_policy.classification()
+            if func.sync_policy.modes()[0]:
+                table.sync_points.append(func.name)
+        table.sync_points.sort()
         return table
 
 
@@ -339,6 +350,11 @@ class Router:
                 if data is None or len(data) != size:
                     missing.append([command.seq, param, digest])
                 else:
+                    san = _sanitize.active()
+                    if san.enabled:
+                        # never-stale: the served bytes must still hash
+                        # to the digest the guest addressed them by
+                        san.verify_digest(digest, data, vm_id=vm_id)
                     resolved.append((command, param, data, kind))
         if missing:
             entry = self.metrics_for(vm_id) \
@@ -607,12 +623,23 @@ class Router:
                          error=f"router: no API server for VM "
                                f"{command.vm_id!r} API {command.api!r}",
                          complete_time=release)
+        san = _sanitize.active()
+        if san.enabled:
+            # the device-side dispatch record: this is where guest
+            # program order either survived the channel or did not
+            san.record_dispatch(command.vm_id, command.api, command.seq,
+                                command.mode, command.function)
         try:
             # plain positional call on the per-command path keeps worker
             # doubles with the historical execute() signature working
             if batched:
-                return worker.execute(command, release, batched=True)
-            return worker.execute(command, release)
+                reply = worker.execute(command, release, batched=True)
+            else:
+                reply = worker.execute(command, release)
+            if san.enabled:
+                san.check_reply_time(command.vm_id, command.api,
+                                     release, reply.complete_time)
+            return reply
         except WorkerCrashed as err:
             # the worker process died mid-call: tear it down (the
             # hypervisor invalidates its handle table) and answer with a

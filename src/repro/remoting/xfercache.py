@@ -48,6 +48,13 @@ def digest_payload(data: bytes) -> bytes:
     return hashlib.blake2b(bytes(data), digest_size=DIGEST_SIZE).digest()
 
 
+def digest_matches(digest: bytes, payload: bytes) -> bool:
+    """Whether ``payload`` hashes to ``digest`` — the never-stale
+    property the store guarantees and ``CAVA_SANITIZE=1`` re-verifies
+    on every resolved ref."""
+    return digest_payload(payload) == bytes(digest)
+
+
 @dataclass(frozen=True)
 class CachePolicy:
     """Transfer-cache knobs, threaded hypervisor → VM → guest runtime.

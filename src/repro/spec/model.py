@@ -152,6 +152,27 @@ class SyncPolicy:
         value = Evaluator(env, sizeof_table).evaluate(self.condition)
         return self.mode_if_true if value else self.default
 
+    def modes(self) -> "tuple":
+        """(can_sync, can_async) — the modes a call can take at runtime."""
+        if self.condition is None:
+            return (self.default is SyncMode.SYNC,
+                    self.default is SyncMode.ASYNC)
+        possible = {self.default, self.mode_if_true}
+        return (SyncMode.SYNC in possible, SyncMode.ASYNC in possible)
+
+    def classification(self) -> str:
+        """Stable ordering class: ``sync`` | ``async`` | ``conditional``.
+
+        This is the happens-before contract the generated stack must
+        honour (``_mode`` in guest stubs, ``ORDERING`` in routing
+        modules) and the key the CAVA40x analyzers and the runtime
+        sanitizer agree on.
+        """
+        can_sync, can_async = self.modes()
+        if can_sync and can_async:
+            return "conditional"
+        return "async" if can_async else "sync"
+
     @classmethod
     def always(cls, mode: SyncMode) -> "SyncPolicy":
         return cls(default=mode)

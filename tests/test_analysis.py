@@ -303,9 +303,18 @@ class TestSuppressions:
         assert any(d.code == "CAVA001" for d in supp.problems)
 
     def test_unknown_code_is_error(self):
+        # a typo'd code (CAVA4O1 for CAVA401...) could never match a
+        # finding; it is reported as a stale entry (CAVA002), not as a
+        # malformed line — the line itself parses fine
         supp = parse_suppressions(
             "CAVA999 thing: this code does not exist in the table\n")
-        assert any(d.code == "CAVA001" for d in supp.problems)
+        assert any(d.code == "CAVA002" for d in supp.problems)
+        assert not any(d.code == "CAVA001" for d in supp.problems)
+
+    def test_typoed_code_is_error(self):
+        supp = parse_suppressions(
+            "CAVA4O1 thing: letter O typo for CAVA401\n")
+        assert any(d.code == "CAVA002" for d in supp.problems)
 
     def test_unused_entry_reported(self):
         report = lint_bad("lifecycle_leak")
