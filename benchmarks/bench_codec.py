@@ -1,0 +1,177 @@
+"""Marshaling fast path: specialized vs interpreted codec throughput.
+
+The generated codec's pitch is mechanical: per-function tables replace
+per-field tag dispatch, one frame allocation replaces the wire-dict
+intermediate, and large payloads splice into the frame as views
+instead of copies.  This bench prices that on a workload-shaped
+message mix (the conformant commands and replies of three shipped
+APIs, small control messages through multi-KiB tensor uploads) and
+asserts the headline: the specialized codec sustains at least **2x**
+the interpreted round-trip rate.
+
+The wall-clock numbers land in ``BENCH_codec.json``; byte identity is
+*not* re-proven here (that is ``tests/test_codec_parity.py``'s job) —
+a single checksum comparison guards against benching divergent codecs.
+
+``test_gate`` at the bottom is fixture-free on purpose: CI runs it
+without pytest-benchmark and fails the job when the speedup falls
+under 2x.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.remoting.codec import Command, Reply
+from repro.remoting.speccodec import SpecializedCodec
+from repro.remoting.wire import InterpretedCodec, frame_bytes
+from repro.stack import build_stack
+
+from conftest import print_table
+
+APIS = ("opencl", "mvnc", "qat")
+
+#: payload sizes straddling the splice threshold (512 B): chatty
+#: control traffic, a typical argument blob, a tensor-sized upload
+PAYLOAD_SIZES = (48, 600, 4096)
+
+
+def _specialized() -> SpecializedCodec:
+    codec = SpecializedCodec()
+    for api in APIS:
+        codec.register_module(build_stack(api).codec_module)
+    return codec
+
+
+def _message_mix():
+    """(command, reply) pairs shaped like real forwarded traffic."""
+    pairs = []
+    for api in APIS:
+        layout = build_stack(api).codec_module.LAYOUT
+        for index, fn in enumerate(sorted(layout)):
+            lay = layout[fn]
+            size = PAYLOAD_SIZES[index % len(PAYLOAD_SIZES)]
+            command = Command(
+                seq=index, vm_id="vm-bench", api=api, function=fn,
+                mode="sync" if index % 2 else "async",
+                scalars={
+                    name: (1.5 if kind == "float"
+                           else "src" if kind == "str"
+                           else [1, 2, 3] if kind == "ints" else 7)
+                    for name, kind in lay["scalars"].items()
+                },
+                handles={
+                    name: ([0x1000 + index, 0x1001 + index]
+                           if kind == "ints" else 0x1000 + index)
+                    for name, kind in lay["handles"].items()
+                },
+                in_buffers={name: bytes(size)
+                            for name in lay["inbufs"]},
+                out_sizes={name: size for name in lay["outsz"]},
+                issue_time=0.5 * index,
+            )
+            new_names = list(lay["new"])
+            if lay["ret"] == "handle":
+                new_names.append("__ret__")
+            reply = Reply(
+                seq=index,
+                return_value=0 if lay["ret"] == "scalar" else None,
+                out_payloads={name: bytes(size)
+                              for name in lay["outs"]},
+                out_scalars={name: 3 for name in lay["oscal"]},
+                new_handles={name: 0x2000 + index
+                             for name in new_names},
+                complete_time=0.5 * index + 0.25,
+            )
+            pairs.append((command, reply))
+    return pairs
+
+
+def _roundtrip_rate(codec, pairs, repeats=5, rounds=30):
+    """Best-of-``repeats`` round trips/second over the message mix.
+
+    One round trip = encode command + decode command + encode reply +
+    decode reply, i.e. everything marshaling does for one forwarded
+    call.  Best-of damps scheduler noise without pytest-benchmark.
+    """
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            for command, reply in pairs:
+                wire = codec.encode_command(command)
+                codec.decode_command(wire)
+                rwire = codec.encode_reply(reply, reply_to=command)
+                codec.decode_reply(rwire, reply_to=command)
+        elapsed = time.perf_counter() - start
+        best = max(best, rounds * len(pairs) / elapsed)
+    return best
+
+
+def _checksum(codec, pairs):
+    import hashlib
+
+    digest = hashlib.blake2b(digest_size=16)
+    for command, reply in pairs:
+        digest.update(frame_bytes(codec.encode_command(command)))
+        digest.update(frame_bytes(
+            codec.encode_reply(reply, reply_to=command)))
+    return digest.hexdigest()
+
+
+def _measure():
+    pairs = _message_mix()
+    interp = InterpretedCodec()
+    spec = _specialized()
+    assert _checksum(spec, pairs) == _checksum(interp, pairs), \
+        "codecs diverged on the bench mix; parity suite must be failing"
+    interp_rate = _roundtrip_rate(interp, pairs)
+    spec_rate = _roundtrip_rate(spec, pairs)
+    snap = spec.snapshot()
+    return pairs, interp_rate, spec_rate, snap
+
+
+def test_codec_throughput(once, bench_json):
+    pairs, interp_rate, spec_rate, snap = once(_measure)
+    ratio = spec_rate / interp_rate
+
+    print_table(
+        "marshaling round-trip throughput (encode+decode, cmd+reply)",
+        ["codec", "round trips/s", "speedup"],
+        [
+            ["interpreted", f"{interp_rate:,.0f}", "1.00x"],
+            ["specialized", f"{spec_rate:,.0f}", f"{ratio:.2f}x"],
+        ],
+    )
+
+    bench_json("codec", {
+        "figure": "codec",
+        "messages": len(pairs),
+        "apis": list(APIS),
+        "payload_sizes": list(PAYLOAD_SIZES),
+        "interpreted_roundtrips_per_s": interp_rate,
+        "specialized_roundtrips_per_s": spec_rate,
+        "speedup": ratio,
+        "fast_path": snap,
+    })
+
+    assert ratio >= 2.0, f"specialized only {ratio:.2f}x interpreted"
+    # the mix must genuinely ride the fast path, not its fallback
+    assert snap["fallback_encodes"] == 0
+    assert snap["fallback_decodes"] == 0
+
+
+def test_gate():
+    """CI gate, fixture-free on purpose (runs without pytest-benchmark).
+
+    Fails when the specialized codec cannot sustain 2x the interpreted
+    round-trip rate on the workload-shaped mix, or when any message in
+    the mix falls off the fast path.
+    """
+    _, interp_rate, spec_rate, snap = _measure()
+    ratio = spec_rate / interp_rate
+    print(f"\ncodec gate: interpreted {interp_rate:,.0f} rt/s, "
+          f"specialized {spec_rate:,.0f} rt/s ({ratio:.2f}x)")
+    assert ratio >= 2.0, f"specialized only {ratio:.2f}x interpreted"
+    assert snap["fallback_encodes"] == 0
+    assert snap["fallback_decodes"] == 0

@@ -97,6 +97,16 @@ CODE_TABLE: Dict[str, tuple] = {
     "CAVA309": (Severity.ERROR,
                 "generated routing module's ordering metadata disagrees "
                 "with the spec's happens-before model"),
+    "CAVA310": (Severity.ERROR,
+                "generated codec module's function set drifts from the "
+                "specification (fast path missing or stale)"),
+    "CAVA311": (Severity.ERROR,
+                "generated codec LAYOUT disagrees with the spec's "
+                "parameter classification (fast path would frame a "
+                "different wire message)"),
+    "CAVA312": (Severity.ERROR,
+                "generated codec entry point bypasses the shared "
+                "bounds-checked marshaling drivers"),
     # happens-before ordering (cava race)
     "CAVA401": (Severity.ERROR,
                 "async-capable call registers observable outputs but the "

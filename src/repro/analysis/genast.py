@@ -28,7 +28,17 @@ produced it:
   ``SYNC_POINTS``) agreeing with the spec's happens-before model and
   attaches it to the built table, so the router and sanitizer can
   verify per-VM program order across ``CommandBatch`` unbundling
-  (CAVA309).
+  (CAVA309),
+* the generated codec module covers exactly the supported function set
+  (CAVA310),
+* its ``LAYOUT`` literal — the marshaling tables' source of truth —
+  matches the wire layout re-derived from the spec's parameter
+  classification, so the fast path can never disagree with the guest
+  and server stubs about what crosses in which section (CAVA311),
+* and every generated codec entry point is a single delegation to the
+  shared bounds-checked drivers in :mod:`repro.remoting.speccodec` —
+  no ad-hoc unpacking, slicing, or struct use in generated code, so
+  hostile frames always hit the fallback-guarded decoders (CAVA312).
 
 Because the checks run on source text, tests can also feed tampered
 sources to prove each invariant actually bites — the checker is the
@@ -445,6 +455,155 @@ def analyze_generated(
         spec, native_module, sources=sources)
     diags.extend(ordering_diags)
     checks += ordering_checks
+
+    # -- CAVA310/311/312: the marshaling fast path stays honest ----------
+    codec_diags, codec_checks = analyze_generated_codec(
+        spec, native_module, sources=sources)
+    diags.extend(codec_diags)
+    checks += codec_checks
+    return diags, checks
+
+
+def _codec_layout_literal(codec_tree: ast.Module):
+    """The ``LAYOUT`` dict literal of a generated codec module, or None."""
+    for node in codec_tree.body:
+        if (isinstance(node, ast.Assign) and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == "LAYOUT"):
+            try:
+                return ast.literal_eval(node.value)
+            except (ValueError, SyntaxError):
+                return None
+    return None
+
+
+#: the only callees a generated codec entry point may delegate to
+_CODEC_DRIVERS = {
+    "encode_command_with", "decode_command_with",
+    "encode_reply_with", "decode_reply_with",
+}
+
+
+def analyze_generated_codec(
+    spec: ApiSpec,
+    native_module: str = "repro.analysis.native_placeholder",
+    sources: Optional[GeneratedSources] = None,
+) -> Tuple[List[Diagnostic], int]:
+    """CAVA310/311/312 — the generated wire codec must stay honest.
+
+    The specialized codec's byte-identity guarantee rests on two legs:
+    the ``LAYOUT`` tables must describe exactly what the guest stub
+    marshals and the server stub collects (CAVA310/311), and every
+    frame must be produced and consumed by the shared, bounds-checked,
+    fallback-guarded drivers rather than per-function ad-hoc code
+    (CAVA312).  All three are decidable from the module source alone —
+    ``LAYOUT`` is required to be a pure literal for this reason.
+    """
+    if sources is None:
+        sources = generate_sources(spec, native_module)
+    diags: List[Diagnostic] = []
+    checks = 0
+
+    supported = [
+        name for name in sorted(spec.functions)
+        if not spec.functions[name].unsupported
+    ]
+
+    checks += 1
+    if not sources.codec_source:
+        diags.append(Diagnostic(
+            "CAVA310", spec.name,
+            "no codec module was generated; the marshaling fast path "
+            "has no tables for this API",
+        ))
+        return diags, checks
+    codec_tree = ast.parse(sources.codec_source)
+    layout = _codec_layout_literal(codec_tree)
+    if not isinstance(layout, dict):
+        diags.append(Diagnostic(
+            "CAVA310", spec.name,
+            "generated codec module has no pure-literal LAYOUT dict; "
+            "the wire layout cannot be verified against the spec",
+        ))
+        return diags, checks
+
+    # -- CAVA310: the codec covers exactly the supported set --------------
+    checks += 1
+    expected = set(supported)
+    got = set(layout)
+    if got != expected:
+        missing = sorted(expected - got)
+        extra = sorted(got - expected)
+        detail = []
+        if missing:
+            detail.append(f"missing {missing}")
+        if extra:
+            detail.append(f"unexpected {extra}")
+        diags.append(Diagnostic(
+            "CAVA310", spec.name,
+            "codec LAYOUT drifts from the specification's function "
+            "set: " + "; ".join(detail),
+        ))
+
+    # -- CAVA311: every table matches the classified wire layout ----------
+    from repro.codegen.codec_gen import function_layout
+
+    for fname in supported:
+        if fname not in layout:
+            continue  # CAVA310 already reported the drift
+        checks += 1
+        derived = function_layout(spec, spec.functions[fname])
+        emitted = layout[fname]
+        wrong = sorted(
+            key for key in derived
+            if emitted.get(key) != derived[key]
+        ) if isinstance(emitted, dict) else ["<not a dict>"]
+        if wrong:
+            diags.append(Diagnostic(
+                "CAVA311", fname,
+                f"codec LAYOUT for {fname!r} disagrees with the spec's "
+                f"parameter classification in {wrong}; the fast path "
+                f"would marshal a different frame than the guest stub",
+            ))
+
+    # -- CAVA312: entry points delegate to the bounds-checked drivers -----
+    checks += 1
+    for node in ast.walk(codec_tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            names = [alias.name for alias in node.names]
+            module = getattr(node, "module", None)
+            if "struct" in names or module == "struct":
+                diags.append(Diagnostic(
+                    "CAVA312", spec.name,
+                    "generated codec module imports struct; all "
+                    "unpacking must go through the shared drivers",
+                ))
+    for node in codec_tree.body:
+        if not (isinstance(node, ast.FunctionDef)
+                and node.name.split("_")[0] in ("encode", "decode")
+                and not node.name.endswith("_with")):
+            continue
+        checks += 1
+        body = [stmt for stmt in node.body
+                if not (isinstance(stmt, ast.Expr)
+                        and _const_str(stmt.value) is not None)]
+        ok = (
+            len(body) == 1
+            and isinstance(body[0], ast.Return)
+            and isinstance(body[0].value, ast.Call)
+            and isinstance(body[0].value.func, ast.Attribute)
+            and body[0].value.func.attr in _CODEC_DRIVERS
+            and isinstance(body[0].value.func.value, ast.Name)
+            and body[0].value.func.value.id == "_sc"
+        )
+        if not ok:
+            diags.append(Diagnostic(
+                "CAVA312", node.name,
+                f"codec entry point {node.name!r} does not delegate "
+                f"to a bounds-checked _sc driver in a single return; "
+                f"ad-hoc marshaling in generated code bypasses the "
+                f"fallback guarantee",
+            ))
     return diags, checks
 
 

@@ -18,6 +18,7 @@ import sys
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
+from repro.codegen.codec_gen import generate_codec_module
 from repro.codegen.guest_gen import generate_guest_module
 from repro.codegen.routing_gen import generate_routing_module
 from repro.codegen.server_gen import generate_server_module
@@ -28,12 +29,15 @@ _LOAD_COUNTER = itertools.count()
 
 @dataclass
 class GeneratedSources:
-    """The three generated module sources, before writing to disk."""
+    """The generated module sources, before writing to disk."""
 
     api_name: str
     guest_source: str
     server_source: str
     routing_source: str
+    #: specialized wire-codec module (marshaling fast path); empty for
+    #: sources generated before the codec generator existed
+    codec_source: str = ""
     #: per-function sync classification ("sync"/"async"/"conditional"),
     #: the happens-before contract the generated modules embed (the
     #: routing module's ORDERING constant mirrors it; CAVA309 checks
@@ -44,7 +48,7 @@ class GeneratedSources:
         return sum(
             source.count("\n")
             for source in (self.guest_source, self.server_source,
-                           self.routing_source)
+                           self.routing_source, self.codec_source)
         )
 
 
@@ -56,6 +60,7 @@ class GeneratedStack:
     guest_module: Any
     server_module: Any
     routing_module: Any
+    codec_module: Any = None
     out_dir: Optional[str] = None
     paths: Dict[str, str] = field(default_factory=dict)
 
@@ -77,6 +82,7 @@ def generate_sources(spec: ApiSpec, native_module: str) -> GeneratedSources:
         guest_source=generate_guest_module(spec),
         server_source=generate_server_module(spec, native_module),
         routing_source=generate_routing_module(spec),
+        codec_source=generate_codec_module(spec),
         ordering={
             name: func.sync_policy.classification()
             for name, func in sorted(spec.functions.items())
@@ -114,6 +120,7 @@ def write_api(
         ("guest", sources.guest_source),
         ("server", sources.server_source),
         ("routing", sources.routing_source),
+        ("codec", sources.codec_source),
     ):
         path = os.path.join(out_dir, f"{spec.name}_{suffix}.py")
         with open(path, "w", encoding="utf-8") as handle:
@@ -139,11 +146,16 @@ def load_stack(api_name: str, paths: Dict[str, str],
                out_dir: Optional[str] = None) -> GeneratedStack:
     """Load previously generated modules from disk."""
     token = next(_LOAD_COUNTER)
+    codec_module = None
+    if "codec" in paths:
+        codec_module = _load_module(
+            paths["codec"], f"_cava_{api_name}_codec_{token}")
     return GeneratedStack(
         api_name=api_name,
         guest_module=_load_module(paths["guest"], f"_cava_{api_name}_guest_{token}"),
         server_module=_load_module(paths["server"], f"_cava_{api_name}_server_{token}"),
         routing_module=_load_module(paths["routing"], f"_cava_{api_name}_routing_{token}"),
+        codec_module=codec_module,
         out_dir=out_dir,
         paths=dict(paths),
     )

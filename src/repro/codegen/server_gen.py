@@ -79,13 +79,15 @@ def _emit_collect(writer: CodeWriter, spec: ApiSpec,
                     f"if {length_box} is not None "
                     f"and {length_box}.value is not None else len({name})"
                 )
+                # a view, not a copy: the reply donates the stub-local
+                # buffer (nothing mutates it after collect)
                 writer.line(
                     f"_reply.out_payloads[{name!r}] = "
-                    f"bytes({name}[:_n_useful])"
+                    f"memoryview({name})[:_n_useful]"
                 )
             else:
                 writer.line(
-                    f"_reply.out_payloads[{name!r}] = bytes({name})"
+                    f"_reply.out_payloads[{name!r}] = {name}"
                 )
     elif cls is ParamClass.SCALAR_BOX_OUT:
         with writer.block(f"if {name} is not None:"):

@@ -25,8 +25,8 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Dict
 
 from repro.faults.plan import FaultPlan
-from repro.remoting.codec import NeedBytes, Reply, ReplyBatch, \
-    decode_message, encode_message
+from repro.remoting.codec import NeedBytes, Reply, ReplyBatch
+from repro.remoting.wire import frame_bytes
 from repro.telemetry import tracer as _tele
 from repro.transport.base import (
     BatchDeliveryResult,
@@ -43,7 +43,7 @@ class FaultyTransport(Transport):
     """Wraps an inner transport, injecting faults from a plan."""
 
     def __init__(self, inner: Transport, plan: FaultPlan) -> None:
-        super().__init__(inner.router)
+        super().__init__(inner.router, codec=inner.codec)
         self.inner = inner
         self.plan = plan
         self.name = f"faulty+{inner.name}"
@@ -96,7 +96,7 @@ class FaultyTransport(Transport):
     def deliver(self, command: "Command", guest_now: float,
                 asynchronous: bool = False) -> DeliveryResult:
         plan = self.plan
-        wire = encode_message(command)
+        wire = self.codec.encode_command(command)
         self.tx_bytes += len(wire)
         self.messages += 1
         cost = (self.enqueue_cost(len(wire)) if asynchronous
@@ -128,7 +128,9 @@ class FaultyTransport(Transport):
 
         deliver_wire = wire
         if decision.corrupt:
-            deliver_wire = plan.corrupt_bytes(wire)
+            # bit damage needs contiguous bytes: materialize a vectored
+            # frame before flipping (the copy is the fault's, not ours)
+            deliver_wire = plan.corrupt_bytes(frame_bytes(wire))
             plan.record("corrupt", "command", command, sent_at)
             self._trace_fault("corrupt", "command", command, sent_at)
         if decision.duplicate:
@@ -136,12 +138,12 @@ class FaultyTransport(Transport):
             # copy executes too, and its reply is discarded as stale
             plan.record("duplicate", "command", command, sent_at)
             self._trace_fault("duplicate", "command", command, sent_at)
-            self.router.deliver(bytes(deliver_wire), sent_at,
+            self.router.deliver(deliver_wire, sent_at,
                                 source=command.vm_id)
 
-        reply_wire = self.router.deliver(bytes(deliver_wire), sent_at,
+        reply_wire = self.router.deliver(deliver_wire, sent_at,
                                          source=command.vm_id)
-        decoded = decode_message(reply_wire)
+        decoded = self.codec.decode_reply(reply_wire, reply_to=command)
         self.rx_bytes += len(reply_wire)
 
         if isinstance(decoded, NeedBytes):
@@ -208,7 +210,7 @@ class FaultyTransport(Transport):
         command — the at-least-once hazard, batched.
         """
         plan = self.plan
-        wire = encode_message(batch)
+        wire = self.codec.encode_command(batch)
         self.tx_bytes += len(wire)
         self.messages += 1
         sent_at = guest_now + self.flush_cost(len(wire), len(batch))
@@ -247,18 +249,18 @@ class FaultyTransport(Transport):
 
         deliver_wire = wire
         if decision.corrupt:
-            deliver_wire = plan.corrupt_bytes(wire)
+            deliver_wire = plan.corrupt_bytes(frame_bytes(wire))
             plan.record("corrupt", "command", frame, sent_at)
             self._trace_fault("corrupt", "command", frame, sent_at)
         if decision.duplicate:
             plan.record("duplicate", "command", frame, sent_at)
             self._trace_fault("duplicate", "command", frame, sent_at)
-            self.router.deliver(bytes(deliver_wire), sent_at,
+            self.router.deliver(deliver_wire, sent_at,
                                 source=batch.vm_id)
 
-        reply_wire = self.router.deliver(bytes(deliver_wire), sent_at,
+        reply_wire = self.router.deliver(deliver_wire, sent_at,
                                          source=batch.vm_id)
-        decoded = decode_message(reply_wire)
+        decoded = self.codec.decode_reply(reply_wire, reply_to=batch)
         self.rx_bytes += len(reply_wire)
 
         if decision.corrupt:

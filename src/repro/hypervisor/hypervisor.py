@@ -61,7 +61,8 @@ class Hypervisor:
 
     def __init__(self, policy: Optional[ResourcePolicy] = None,
                  batch_policy: Optional[Any] = None,
-                 cache_policy: Optional[CachePolicy] = None) -> None:
+                 cache_policy: Optional[CachePolicy] = None,
+                 codec: Optional[Any] = None) -> None:
         # arm the runtime sanitizer when the environment asks for it
         # (CAVA_SANITIZE=1); otherwise the NOOP stays installed and
         # every hook site is a single attribute check
@@ -75,10 +76,13 @@ class Hypervisor:
         #: cache policy is armed)
         self.xfer_stores: Dict[str, TransferStore] = {}
         self.rate_limiter = RateLimiter(self.policy)
+        #: the wire codec every channel of this hypervisor frames with
+        #: (None → the router installs the interpreted reference codec)
         self.router = Router(self._worker_for, rate_limiter=self.rate_limiter,
                              policy=self.policy,
                              on_worker_lost=self._on_worker_lost,
-                             store_resolver=self.xfer_stores.get)
+                             store_resolver=self.xfer_stores.get,
+                             codec=codec)
         self.apis: Dict[str, ApiRegistration] = {}
         self.vms: Dict[str, GuestVM] = {}
         self.workers: Dict[Tuple[str, str], ApiServerWorker] = {}

@@ -25,9 +25,8 @@ from repro.remoting.codec import (
     NeedBytes,
     Reply,
     ReplyBatch,
-    decode_message,
-    encode_message,
 )
+from repro.remoting.wire import FrameLike, InterpretedCodec, WireCodec
 from repro.analysis import sanitizer as _sanitize
 from repro.spec.expr import Evaluator, Expr
 from repro.spec.model import ApiSpec, RecordKind
@@ -141,8 +140,13 @@ class Router:
         breaker_cooldown: float = 5e-3,
         max_batch_commands: int = 4096,
         store_resolver: Optional[Callable[[str], Any]] = None,
+        codec: Optional[WireCodec] = None,
     ) -> None:
         self.worker_resolver = worker_resolver
+        #: the wire codec frames cross the router through; defaults to
+        #: the interpreted reference codec (byte-identical either way)
+        self.codec: WireCodec = codec if codec is not None \
+            else InterpretedCodec()
         #: ``store_resolver(vm_id)`` returns the VM's TransferStore (or
         #: ``None``); absent entirely when no CachePolicy is armed, so
         #: cached refs are rejected rather than silently dropped
@@ -324,7 +328,7 @@ class Router:
             # a miss — a retransmission could never succeed either
             if vm_id in self.known_vms:
                 self.metrics_for(vm_id).rejected += 1
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=first_seq,
                       error="router: cached refs without a transfer "
                             "store (cache not armed for this VM)",
@@ -339,7 +343,7 @@ class Router:
                 if size > self.max_payload_bytes:
                     if vm_id in self.known_vms:
                         self.metrics_for(vm_id).rejected += 1
-                    return encode_message(
+                    return self.codec.encode_reply(
                         Reply(seq=first_seq,
                               error=(f"router: cached ref {param!r} "
                                      f"claims {size} B, beyond limit "
@@ -367,7 +371,7 @@ class Router:
                     vm_id=vm_id, function="<xfer>",
                     missing=len(missing),
                 )
-            return encode_message(
+            return self.codec.encode_reply(
                 NeedBytes(seq=first_seq, missing=missing,
                           complete_time=arrival)
             )
@@ -378,7 +382,7 @@ class Router:
                 except UnicodeDecodeError:
                     if vm_id in self.known_vms:
                         self.metrics_for(vm_id).rejected += 1
-                    return encode_message(
+                    return self.codec.encode_reply(
                         Reply(seq=first_seq,
                               error=(f"router: cached ref {param!r} "
                                      f"resolves to non-UTF-8 bytes for "
@@ -429,8 +433,8 @@ class Router:
 
     # -- the data path -----------------------------------------------------------
 
-    def deliver(self, wire: bytes, arrival: float,
-                source: Optional[str] = None) -> bytes:
+    def deliver(self, wire: FrameLike, arrival: float,
+                source: Optional[str] = None) -> FrameLike:
         """Verify, schedule and dispatch one encoded frame; returns the
         encoded reply.  Verification failures produce error replies (the
         guest sees a failed call, the host is untouched).
@@ -446,18 +450,18 @@ class Router:
         if self._breaker_open(source, arrival):
             if source in self.known_vms:
                 self.metrics_for(source).rejected += 1
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=-1,
                       error=(f"router: circuit open for VM {source!r} "
                              f"(malformed-frame flood)"),
                       complete_time=arrival)
             )
         try:
-            message = decode_message(wire)
+            message = self.codec.decode_command(wire)
         except CodecError as err:
             self.malformed_frames += 1
             self._strike(source, arrival)
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=-1, error=f"router: malformed command ({err})",
                       complete_time=arrival)
             )
@@ -466,7 +470,7 @@ class Router:
         if not isinstance(message, Command):
             self.malformed_frames += 1
             self._strike(source, arrival)
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=-1, error="router: expected a command",
                       complete_time=arrival)
             )
@@ -477,17 +481,17 @@ class Router:
         if self.slo_monitor is not None:
             self._observe(message, arrival, reply)
         try:
-            return encode_message(reply)
+            return self.codec.encode_reply(reply, reply_to=message)
         except CodecError as err:
             # a reply the wire can't carry must not take the router down
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=message.seq,
                       error=f"router: reply encoding failed ({err})",
                       complete_time=reply.complete_time)
             )
 
     def _deliver_batch(self, batch: CommandBatch, arrival: float,
-                       source: Optional[str]) -> bytes:
+                       source: Optional[str]) -> FrameLike:
         """Unbundle one coalesced frame: route every inner command, in
         order, through the ordinary verification/policy/dispatch path,
         and answer with a single :class:`ReplyBatch`.
@@ -503,7 +507,7 @@ class Router:
             self.oversized_batches += 1
             if source in self.known_vms:
                 self.metrics_for(source).rejected += 1
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=-1,
                       error=(f"router: batch of {len(batch.commands)} "
                              f"commands exceeds limit "
@@ -535,9 +539,9 @@ class Router:
             )
         result = ReplyBatch(replies=replies, complete_time=at)
         try:
-            return encode_message(result)
+            return self.codec.encode_reply(result, reply_to=batch)
         except CodecError as err:
-            return encode_message(
+            return self.codec.encode_reply(
                 Reply(seq=-1,
                       error=f"router: reply encoding failed ({err})",
                       complete_time=at)

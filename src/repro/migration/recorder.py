@@ -62,6 +62,13 @@ class CallRecorder:
         if "__ret__" in created or created or kind in (
             RecordKind.CONFIG, RecordKind.CREATE, RecordKind.MODIFY
         ):
+            # the log outlives the wire frame: donated memoryview
+            # payloads (zero-copy decode) must be materialized before
+            # being retained — see the buffer-donation contract in
+            # repro.remoting.buffers
+            for name, chunk in command.in_buffers.items():
+                if isinstance(chunk, memoryview):
+                    command.in_buffers[name] = bytes(chunk)
             self.log.append(
                 RecordedCall(
                     command=command,

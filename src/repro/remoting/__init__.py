@@ -3,18 +3,46 @@
 These are the pieces of AvA that do *not* depend on which accelerator API
 is being virtualized.  CAvA-generated guest and server modules call into
 them; the hypervisor transport moves the encoded messages they produce.
+
+Marshaling goes through a pluggable :class:`WireCodec` instance:
+:class:`InterpretedCodec` (the runtime-interpreted tagged format) or
+:class:`SpecializedCodec` (generated per-function fast path, zero-copy,
+byte-identical on the wire).  The ``encode_message`` /
+``decode_message`` free functions remain as deprecated shims over the
+interpreted path.
 """
 
-from repro.remoting.buffers import OutBox, as_byte_view, byte_size_of
+from repro.remoting.buffers import (
+    BYTES_LIKE,
+    BufferContractError,
+    OutBox,
+    WireBuffer,
+    as_byte_view,
+    byte_size_of,
+)
 from repro.remoting.codec import (
+    CodecError,
     Command,
+    CommandBatch,
     NeedBytes,
     Reply,
-    WireCodec,
+    ReplyBatch,
+    StreamFramer,
     decode_message,
     encode_message,
 )
 from repro.remoting.handles import HandleError, HandleTable
+from repro.remoting.speccodec import (
+    CommandTable,
+    ReplyTable,
+    SpecializedCodec,
+)
+from repro.remoting.wire import (
+    InterpretedCodec,
+    WireCodec,
+    WireFrame,
+    frame_bytes,
+)
 from repro.remoting.xfercache import (
     CachePolicy,
     CachedRef,
@@ -23,19 +51,32 @@ from repro.remoting.xfercache import (
 )
 
 __all__ = [
+    "BYTES_LIKE",
+    "BufferContractError",
     "CachePolicy",
     "CachedRef",
+    "CodecError",
     "Command",
+    "CommandBatch",
+    "CommandTable",
     "HandleError",
     "HandleTable",
+    "InterpretedCodec",
     "NeedBytes",
     "OutBox",
     "Reply",
+    "ReplyBatch",
+    "ReplyTable",
+    "SpecializedCodec",
+    "StreamFramer",
     "TransferCache",
+    "WireBuffer",
     "WireCodec",
+    "WireFrame",
     "as_byte_view",
     "byte_size_of",
     "decode_message",
     "digest_payload",
     "encode_message",
+    "frame_bytes",
 ]

@@ -7,13 +7,36 @@ The generated code works with three buffer shapes:
 * **OutBox** — a single-slot container for out-parameters whose value is
   an opaque handle or scalar written back by the call (the Python stand-in
   for C's ``cl_event *event``).
+
+:class:`WireBuffer` is the buffer-donation contract for the zero-copy
+data path: instead of the ad-hoc ``bytes|bytearray|memoryview|ndarray``
+isinstance ladders that used to live in codec/xfercache/bindings code,
+callers that hand a payload to the remoting layer wrap it once and the
+wrapper documents exactly who may touch the memory afterwards.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 import numpy as np
+
+#: the byte-like shapes the wire layer accepts without conversion —
+#: anything the C-level buffer protocol exposes as contiguous bytes.
+#: Shared by codec/xfercache/transport code instead of each module
+#: growing its own isinstance ladder.
+BYTES_LIKE: Tuple[type, ...] = (bytes, bytearray, memoryview)
+
+
+class BufferContractError(ValueError):
+    """A buffer violated the remoting layer's donation contract.
+
+    Raised instead of a bare ``ValueError``/``TypeError`` when a caller
+    hands the wire layer memory it cannot use zero-copy — a
+    non-contiguous ndarray, a read-only target, a released
+    :class:`WireBuffer`.  Subclasses ``ValueError`` so existing
+    ``except ValueError`` handlers (guest stubs, tests) keep working.
+    """
 
 
 class OutBox(list):
@@ -35,13 +58,93 @@ class OutBox(list):
         self[0] = new_value
 
 
+class WireBuffer:
+    """One payload donated to the wire layer, with explicit ownership.
+
+    The donation contract:
+
+    * Between construction and the completion of the send (the return of
+      ``Transport.deliver`` / ``deliver_batch``), the memory belongs to
+      the remoting layer — the donor MUST NOT mutate it.  The encoder
+      may splice a view of it directly into the outgoing frame.
+    * After the send returns, ownership reverts to the donor; call
+      :meth:`release` to make any lingering use fail loudly instead of
+      silently reading stale bytes.
+    * The wire layer never mutates donated memory and never holds a
+      reference past the send, so ``release()`` is a debugging aid, not
+      a requirement.
+
+    ``view()`` returns a read-only flat byte view — the only shape the
+    encoder consumes — raising :class:`BufferContractError` for memory
+    that cannot be viewed without a copy.
+    """
+
+    __slots__ = ("_view", "_obj")
+
+    def __init__(self, obj: Any) -> None:
+        if isinstance(obj, WireBuffer):
+            self._obj = obj._obj
+            self._view = obj._view
+            return
+        if isinstance(obj, np.ndarray):
+            if not obj.flags.c_contiguous:
+                raise BufferContractError(
+                    f"cannot donate a non-contiguous ndarray zero-copy "
+                    f"(shape {obj.shape}, strides {obj.strides}); pass "
+                    f"np.ascontiguousarray(...) or bytes instead"
+                )
+            view = memoryview(obj).cast("B")
+        elif isinstance(obj, BYTES_LIKE):
+            view = memoryview(obj)
+            if view.ndim != 1 or view.itemsize != 1:
+                view = view.cast("B")
+        else:
+            raise BufferContractError(
+                f"not a donatable buffer: {type(obj).__name__}"
+            )
+        self._obj = obj
+        self._view = view.toreadonly() if not view.readonly else view
+
+    @property
+    def nbytes(self) -> int:
+        if self._view is None:
+            raise BufferContractError("WireBuffer used after release()")
+        return self._view.nbytes
+
+    def __len__(self) -> int:
+        return self.nbytes
+
+    def view(self) -> memoryview:
+        """The read-only byte view the encoder splices into frames."""
+        if self._view is None:
+            raise BufferContractError("WireBuffer used after release()")
+        return self._view
+
+    def release(self) -> None:
+        """Return ownership to the donor; further use raises."""
+        if self._view is not None:
+            self._view.release()
+            self._view = None
+            self._obj = None
+
+    def __bytes__(self) -> bytes:
+        return bytes(self.view())
+
+    def __repr__(self) -> str:
+        if self._view is None:
+            return "WireBuffer(<released>)"
+        return f"WireBuffer({self.nbytes} B)"
+
+
 def byte_size_of(obj: Any) -> int:
     """The payload size of a buffer-like object in bytes."""
     if obj is None:
         return 0
     if isinstance(obj, np.ndarray):
         return int(obj.nbytes)
-    if isinstance(obj, (bytes, bytearray, memoryview)):
+    if isinstance(obj, WireBuffer):
+        return obj.nbytes
+    if isinstance(obj, BYTES_LIKE):
         return len(obj)
     if isinstance(obj, str):
         return len(obj.encode("utf-8"))
@@ -58,13 +161,21 @@ def as_byte_view(obj: Any) -> memoryview:
     """
     if isinstance(obj, np.ndarray):
         if not obj.flags.writeable:
-            raise ValueError("out-buffer array is read-only")
+            raise BufferContractError("out-buffer array is read-only")
+        if not obj.flags.c_contiguous:
+            # reshape(-1) on a strided array would silently copy, so the
+            # write-back would land in a temporary and vanish
+            raise BufferContractError(
+                f"out-buffer array is not C-contiguous "
+                f"(shape {obj.shape}, strides {obj.strides}); writing "
+                f"through a view would copy — pass a contiguous array"
+            )
         return memoryview(obj.reshape(-1).view(np.uint8))
     if isinstance(obj, bytearray):
         return memoryview(obj)
     if isinstance(obj, memoryview):
         if obj.readonly:
-            raise ValueError("out-buffer memoryview is read-only")
+            raise BufferContractError("out-buffer memoryview is read-only")
         return obj.cast("B")
     raise TypeError(
         f"cannot write into {type(obj).__name__}; out-buffers must be "
@@ -74,21 +185,31 @@ def as_byte_view(obj: Any) -> memoryview:
 
 def read_bytes(obj: Any, limit: Optional[int] = None) -> bytes:
     """Serialize an input buffer to bytes (truncated to ``limit``)."""
+    if limit is not None and limit < 0:
+        raise ValueError("buffer size expression evaluated negative")
     if obj is None:
         return b""
+    if isinstance(obj, WireBuffer):
+        obj = obj.view()
     if isinstance(obj, np.ndarray):
+        if limit is not None and obj.flags.c_contiguous:
+            # slice the view first so a limited read copies `limit`
+            # bytes once, not nbytes then limit
+            return memoryview(obj).cast("B")[:limit].tobytes()
         data = obj.tobytes()
-    elif isinstance(obj, (bytes, bytearray)):
-        data = bytes(obj)
+    elif isinstance(obj, bytes):
+        return obj if limit is None or limit >= len(obj) else obj[:limit]
+    elif isinstance(obj, bytearray):
+        # slice through a view: one copy, never bytearray→slice→bytes
+        return bytes(memoryview(obj)[:limit])
     elif isinstance(obj, memoryview):
-        data = obj.tobytes()
+        view = obj if obj.itemsize == 1 and obj.ndim == 1 else obj.cast("B")
+        return view.tobytes() if limit is None else view[:limit].tobytes()
     elif isinstance(obj, str):
         data = obj.encode("utf-8")
     else:
         raise TypeError(f"not a buffer-like object: {type(obj).__name__}")
     if limit is not None:
-        if limit < 0:
-            raise ValueError("buffer size expression evaluated negative")
         data = data[:limit]
     return data
 

@@ -26,6 +26,8 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.remoting.buffers import BYTES_LIKE, WireBuffer
+
 
 class CodecError(Exception):
     """Malformed wire data."""
@@ -63,11 +65,19 @@ def _encode_value(value: Any, out: List[bytes]) -> None:
         out.append(b"S")
         out.append(_U32.pack(len(data)))
         out.append(data)
-    elif isinstance(value, (bytes, bytearray, memoryview)):
-        data = bytes(value)
+    elif isinstance(value, (bytes, bytearray, memoryview, WireBuffer)):
+        if isinstance(value, WireBuffer):
+            value = value.view()
+        if isinstance(value, memoryview):
+            # splice views without a bytes() round-trip; only shapes
+            # b"".join cannot consume directly are normalized
+            if not value.c_contiguous:
+                value = bytes(value)
+            elif value.ndim != 1 or value.itemsize != 1:
+                value = value.cast("B")
         out.append(b"B")
-        out.append(_U32.pack(len(data)))
-        out.append(data)
+        out.append(_U32.pack(len(value)))
+        out.append(value)
     elif isinstance(value, (list, tuple)):
         out.append(b"L")
         out.append(_U32.pack(len(value)))
@@ -216,7 +226,7 @@ def _buffer_dict(value: Any, what: str) -> Dict[str, bytes]:
     _checked(value, dict, what)
     result: Dict[str, bytes] = {}
     for key, chunk in value.items():
-        if not isinstance(chunk, (bytes, bytearray, memoryview)):
+        if not isinstance(chunk, BYTES_LIKE):
             raise CodecError(
                 f"{what} entry {key!r} must be bytes, "
                 f"got {type(chunk).__name__}"
@@ -249,7 +259,7 @@ def _cached_ref_dict(value: Any, what: str) -> Dict[str, List[Any]]:
                 f"{what} entry {key!r} must be [digest, size, kind]"
             )
         digest, size, kind = entry
-        if not isinstance(digest, (bytes, bytearray, memoryview)):
+        if not isinstance(digest, BYTES_LIKE):
             raise CodecError(
                 f"{what} entry {key!r} digest must be bytes, "
                 f"got {type(digest).__name__}"
@@ -576,7 +586,7 @@ class NeedBytes:
             cmd_seq, param, digest = entry
             _checked(cmd_seq, int, f"need-bytes miss #{index} seq")
             _checked(param, str, f"need-bytes miss #{index} param")
-            if not isinstance(digest, (bytes, bytearray, memoryview)):
+            if not isinstance(digest, BYTES_LIKE):
                 raise CodecError(
                     f"need-bytes miss #{index} digest must be bytes, "
                     f"got {type(digest).__name__}"
@@ -601,7 +611,14 @@ _MESSAGE_MAGICS = {
 
 
 def encode_message(message: Any) -> bytes:
-    """Encode a Command/Reply/CommandBatch/ReplyBatch to wire bytes."""
+    """Encode a Command/Reply/CommandBatch/ReplyBatch to wire bytes.
+
+    Deprecated shim: this is the interpreted slow path, kept so
+    external callers don't break.  New code should go through a
+    :class:`repro.remoting.wire.WireCodec` instance —
+    ``InterpretedCodec`` for this exact behavior, ``SpecializedCodec``
+    for the generated fast path.
+    """
     magic = _MESSAGE_MAGICS.get(type(message))
     if magic is None:
         raise CodecError(
@@ -616,7 +633,14 @@ def decode_message(data: bytes) -> Any:
 
     Like :func:`decode_value`, a trust boundary: any malformation raises
     :class:`CodecError`.
+
+    Deprecated shim for new code — prefer a
+    :class:`repro.remoting.wire.WireCodec` instance.  Accepts any
+    byte-like frame (bytes, bytearray, memoryview, ``WireFrame``) and
+    normalizes it once.
     """
+    if not isinstance(data, bytes):
+        data = bytes(data)
     if len(data) < 6:
         raise CodecError("message too short")
     magic, length = data[:2], _unpack_from(_U32, data, 2)
@@ -644,11 +668,14 @@ def decode_message(data: bytes) -> Any:
     raise CodecError(f"bad message magic {magic!r}")
 
 
-class WireCodec:
+class StreamFramer:
     """Stateful framing helper for stream transports (sockets).
 
     Feed raw stream chunks in with :meth:`feed`; complete messages pop
     out of :meth:`messages`.
+
+    (Formerly named ``WireCodec``; that name now belongs to the codec
+    protocol in :mod:`repro.remoting.wire`.)
     """
 
     def __init__(self) -> None:

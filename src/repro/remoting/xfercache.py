@@ -44,8 +44,14 @@ DIGEST_SIZE = 16
 
 
 def digest_payload(data: bytes) -> bytes:
-    """The content digest a payload is addressed by (blake2b-16)."""
-    return hashlib.blake2b(bytes(data), digest_size=DIGEST_SIZE).digest()
+    """The content digest a payload is addressed by (blake2b-16).
+
+    Hashes byte-likes (including donated ``memoryview`` slices) in
+    place; only non-contiguous views need normalizing first.
+    """
+    if isinstance(data, memoryview) and not data.c_contiguous:
+        data = bytes(data)
+    return hashlib.blake2b(data, digest_size=DIGEST_SIZE).digest()
 
 
 def digest_matches(digest: bytes, payload: bytes) -> bool:

@@ -18,6 +18,8 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.codegen.generator import GeneratedStack, generate_api
 from repro.guest.batching import BatchPolicy
 from repro.hypervisor.hypervisor import ApiRegistration, Hypervisor
+from repro.remoting.speccodec import SpecializedCodec
+from repro.remoting.wire import InterpretedCodec, WireCodec
 from repro.remoting.xfercache import CachePolicy
 from repro.hypervisor.policy import ResourcePolicy
 from repro.hypervisor.vm import GuestVM
@@ -39,6 +41,32 @@ NATIVE_MODULES = {
     "qat": "repro.qat.api",
     "tpu": "repro.tpu.api",
 }
+
+
+def resolve_codec(codec: Any,
+                  stacks: Sequence[GeneratedStack]) -> WireCodec:
+    """Turn a codec selector into a :class:`WireCodec` instance.
+
+    ``codec`` may be a ready instance, ``"interpreted"``, or
+    ``"specialized"``/``None`` — the default: a
+    :class:`SpecializedCodec` loaded with every generated stack's
+    marshaling tables, falling back to the interpreted path (and its
+    exact wire bytes) for anything the tables don't cover.
+    """
+    if isinstance(codec, WireCodec):
+        return codec
+    if codec == "interpreted":
+        return InterpretedCodec()
+    if codec is None or codec == "specialized":
+        specialized = SpecializedCodec()
+        for stack in stacks:
+            if getattr(stack, "codec_module", None) is not None:
+                specialized.register_module(stack.codec_module)
+        return specialized
+    raise ValueError(
+        f"unknown codec {codec!r}; pass a WireCodec instance, "
+        f"'specialized', or 'interpreted'"
+    )
 
 
 def default_specs_dir() -> str:
@@ -173,6 +201,7 @@ class VirtualStack:
         ncs_factory: Optional[Callable[[], SimulatedNCS]] = None,
         memory_manager_factory: Optional[
             Callable[[], MemoryManager]] = None,
+        codec: Any = "specialized",
     ) -> "VirtualStack":
         """Generate and register the requested API stacks.
 
@@ -181,13 +210,18 @@ class VirtualStack:
         bit-identical to the unbatched path).  ``cache_policy`` likewise
         becomes the default transfer-cache policy (None = full payloads
         on every crossing, bit-identical to the uncached path).
+        ``codec`` selects the wire codec (see :func:`resolve_codec`);
+        the default generated fast path emits the same wire bytes as
+        ``"interpreted"``, frame for frame.
         """
         if not apis:
             apis = ("opencl",)
+        stacks = {api_name: build_stack(api_name) for api_name in apis}
         hypervisor = Hypervisor(policy=policy, batch_policy=batch_policy,
-                                cache_policy=cache_policy)
+                                cache_policy=cache_policy,
+                                codec=resolve_codec(codec, list(stacks.values())))
         for api_name in apis:
-            stack = build_stack(api_name)
+            stack = stacks[api_name]
             if api_name == "opencl":
                 if shared_gpus is not None:
                     devices_factory = (
@@ -266,6 +300,7 @@ def make_hypervisor(
     memory_manager_factory: Optional[Callable[[], MemoryManager]] = None,
     batch_policy: Optional[BatchPolicy] = None,
     cache_policy: Optional[CachePolicy] = None,
+    codec: Any = "specialized",
 ) -> Hypervisor:
     """A hypervisor with the requested generated API stacks registered.
 
@@ -280,6 +315,7 @@ def make_hypervisor(
         policy=policy,
         batch_policy=batch_policy,
         cache_policy=cache_policy,
+        codec=codec,
         gpu_factory=gpu_factory,
         shared_gpus=shared_gpus,
         ncs_factory=ncs_factory,

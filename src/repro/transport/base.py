@@ -18,9 +18,8 @@ from repro.remoting.codec import (
     NeedBytes,
     Reply,
     ReplyBatch,
-    decode_message,
-    encode_message,
 )
+from repro.remoting.wire import InterpretedCodec, WireCodec
 from repro.telemetry import tracer as _tele
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -95,8 +94,15 @@ class Transport:
 
     name = "abstract"
 
-    def __init__(self, router: "Router") -> None:
+    def __init__(self, router: "Router",
+                 codec: Optional[WireCodec] = None) -> None:
         self.router = router
+        #: the codec this channel marshals frames with; defaults to the
+        #: router's, so both ends of the channel agree
+        self.codec: WireCodec = (
+            codec if codec is not None
+            else getattr(router, "codec", None) or InterpretedCodec()
+        )
         #: bytes moved guest→host / host→guest (metrics)
         self.tx_bytes = 0
         self.rx_bytes = 0
@@ -148,11 +154,12 @@ class Transport:
         returned timestamps let the guest runtime implement sync and
         async semantics without the transport caring which it is.
         """
-        wire = encode_message(command)
-        self.tx_bytes += len(wire)
+        wire = self.codec.encode_command(command)
+        nbytes = len(wire)
+        self.tx_bytes += nbytes
         self.messages += 1
-        cost = (self.enqueue_cost(len(wire)) if asynchronous
-                else self.send_cost(len(wire)))
+        cost = (self.enqueue_cost(nbytes) if asynchronous
+                else self.send_cost(nbytes))
         sent_at = guest_now + cost
         tracer = _tele.active()
         if tracer.enabled:
@@ -162,15 +169,17 @@ class Transport:
                 parent_id=command.span_id,
                 vm_id=command.vm_id, api=command.api,
                 function=command.function,
-                transport=self.name, wire_bytes=len(wire),
+                transport=self.name, wire_bytes=nbytes,
                 submit="async" if asynchronous else "sync",
-                **self.span_attrs(len(wire)),
+                **self.span_attrs(nbytes),
             )
         # the channel, not the frame, attests who is sending: the router's
-        # circuit breaker keys on this even when the frame won't decode
-        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at,
+        # circuit breaker keys on this even when the frame won't decode.
+        # The frame crosses as-is — a zero-copy codec's vectored
+        # [header, *buffer_views] segments are never flattened here.
+        reply_wire = self.router.deliver(wire, arrival=sent_at,
                                          source=command.vm_id)
-        decoded = decode_message(reply_wire)
+        decoded = self.codec.decode_reply(reply_wire, reply_to=command)
         self.rx_bytes += len(reply_wire)
         if isinstance(decoded, NeedBytes):
             # the frame's cached refs missed: nothing executed; the
@@ -200,23 +209,24 @@ class Transport:
         frame, one doorbell-equivalent fixed charge — and the router
         answers with a single :class:`ReplyBatch`.
         """
-        wire = encode_message(batch)
-        self.tx_bytes += len(wire)
+        wire = self.codec.encode_command(batch)
+        nbytes = len(wire)
+        self.tx_bytes += nbytes
         self.messages += 1
-        sent_at = guest_now + self.flush_cost(len(wire), len(batch))
+        sent_at = guest_now + self.flush_cost(nbytes, len(batch))
         tracer = _tele.active()
         if tracer.enabled:
             tracer.record_span(
                 "transport.flush", guest_now, sent_at,
                 layer="transport",
                 vm_id=batch.vm_id, function="<batch>",
-                transport=self.name, wire_bytes=len(wire),
+                transport=self.name, wire_bytes=nbytes,
                 commands=len(batch), submit="batch",
-                **self.span_attrs(len(wire)),
+                **self.span_attrs(nbytes),
             )
-        reply_wire = self.router.deliver(bytes(wire), arrival=sent_at,
+        reply_wire = self.router.deliver(wire, arrival=sent_at,
                                          source=batch.vm_id)
-        decoded = decode_message(reply_wire)
+        decoded = self.codec.decode_reply(reply_wire, reply_to=batch)
         self.rx_bytes += len(reply_wire)
         if isinstance(decoded, ReplyBatch):
             return BatchDeliveryResult(

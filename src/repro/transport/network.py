@@ -9,8 +9,9 @@ disaggregation (compute-bound) and which do not (chatty / copy-heavy).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.remoting.wire import WireCodec
 from repro.transport.base import Transport
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -29,8 +30,9 @@ class NetworkTransport(Transport):
         bandwidth: float = 5e9,  # ~40 GbE effective
         mtu: int = 9000,
         per_packet_cost: float = 0.6e-6,
+        codec: Optional[WireCodec] = None,
     ) -> None:
-        super().__init__(router)
+        super().__init__(router, codec=codec)
         if bandwidth <= 0:
             raise ValueError("bandwidth must be positive")
         self.latency = latency

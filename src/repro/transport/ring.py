@@ -10,8 +10,9 @@ cheap small commands, visibly stepped costs for bulk payloads.
 from __future__ import annotations
 
 import math
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Optional
 
+from repro.remoting.wire import WireCodec
 from repro.transport.base import Transport, TransportError
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -30,8 +31,9 @@ class RingTransport(Transport):
         slots: int = 256,
         doorbell_latency: float = 1.2e-6,
         copy_byte_cost: float = 0.012e-9,
+        codec: Optional[WireCodec] = None,
     ) -> None:
-        super().__init__(router)
+        super().__init__(router, codec=codec)
         if slot_bytes <= 0 or slots <= 0:
             raise ValueError("ring geometry must be positive")
         self.slot_bytes = slot_bytes

@@ -149,6 +149,7 @@ class TestGeneratedAst:
             "guest_source": sources.guest_source,
             "server_source": sources.server_source,
             "routing_source": sources.routing_source,
+            "codec_source": sources.codec_source,
         }
         for field_name, (old, new) in replacements.items():
             assert old in fields[field_name], f"{old!r} not in {field_name}"
@@ -222,6 +223,7 @@ class TestGeneratedAst:
                 "if out_data is not None:", "if True:", 1),
             server_source=sources.server_source,
             routing_source=sources.routing_source,
+            codec_source=sources.codec_source,
         )
         diags, _ = analyze_generated(spec, sources=broken)
         assert any(d.code == "CAVA303" for d in diags)
@@ -236,6 +238,7 @@ class TestGeneratedAst:
                 "raise RemotingError", "raise ValueError", 1),
             server_source=sources.server_source,
             routing_source=sources.routing_source,
+            codec_source=sources.codec_source,
         )
         diags, _ = analyze_generated(spec, sources=broken)
         assert any(d.code == "CAVA304" for d in diags)
@@ -272,6 +275,67 @@ class TestGeneratedAst:
         diags, _ = analyze_generated(spec, sources=tampered)
         assert any(d.code == "CAVA306"
                    and "mvncLoadTensor" in d.message for d in diags)
+
+    # -- CAVA310/311/312: the marshaling fast path ------------------------
+
+    def test_missing_codec_module_caught(self):
+        spec, sources = self._sources()
+        stripped = GeneratedSources(
+            api_name=sources.api_name,
+            guest_source=sources.guest_source,
+            server_source=sources.server_source,
+            routing_source=sources.routing_source,
+            codec_source="",
+        )
+        diags, _ = analyze_generated(spec, sources=stripped)
+        assert any(d.code == "CAVA310" for d in diags)
+
+    def test_codec_function_drift_caught(self):
+        spec, sources = self._sources()
+        # drop one function's whole LAYOUT entry (tables go stale)
+        start = sources.codec_source.index("    'mvncLoadTensor': {")
+        end = (sources.codec_source.index("\n    },", start)
+               + len("\n    },\n"))
+        tampered = self._tampered(sources, codec_source=(
+            sources.codec_source[start:end], "",
+        ))
+        diags, _ = analyze_generated(spec, sources=tampered)
+        assert any(d.code == "CAVA310"
+                   and "mvncLoadTensor" in d.message for d in diags)
+
+    def test_codec_layout_drift_caught(self):
+        spec, sources = self._sources()
+        # misfile the tensor payload as a scalar section entry
+        tampered = self._tampered(sources, codec_source=(
+            "'inbufs': ['input_tensor'],",
+            "'inbufs': [],",
+        ))
+        diags, _ = analyze_generated(spec, sources=tampered)
+        assert any(d.code == "CAVA311"
+                   and d.subject == "mvncLoadTensor" for d in diags)
+
+    def test_codec_adhoc_marshaling_caught(self):
+        spec, sources = self._sources()
+        # an entry point that unpacks bytes itself instead of
+        # delegating to the shared bounds-checked drivers
+        tampered = self._tampered(sources, codec_source=(
+            "    return _sc.decode_command_with("
+            "COMMAND_TABLES['mvncLoadTensor'], data)",
+            "    return data[6:]",
+        ))
+        diags, _ = analyze_generated(spec, sources=tampered)
+        assert any(d.code == "CAVA312"
+                   and "decode_command_mvncLoadTensor" in d.subject
+                   for d in diags)
+
+    def test_codec_struct_import_caught(self):
+        spec, sources = self._sources()
+        tampered = self._tampered(sources, codec_source=(
+            "from repro.remoting import speccodec as _sc",
+            "import struct\nfrom repro.remoting import speccodec as _sc",
+        ))
+        diags, _ = analyze_generated(spec, sources=tampered)
+        assert any(d.code == "CAVA312" for d in diags)
 
 
 class TestSuppressions:

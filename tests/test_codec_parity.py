@@ -1,0 +1,335 @@
+"""Byte-identity fuzz: specialized codec vs interpreted codec.
+
+The marshaling fast path's contract is *frame-for-frame wire
+equality*: for every message the :class:`SpecializedCodec` encodes —
+on the generated tables or through its fallback — the emitted bytes
+equal the interpreted encoder's exactly, and every frame decodes to
+the same message under both codecs.  This suite drives that contract
+with Hypothesis over the real generated layouts of three shipped APIs
+(opencl, mvnc, qat), then replays the trust-boundary hardening checks
+(systematic truncation, single-byte corruption) against both codecs
+in lockstep: a malformation must produce the *same* outcome —
+:class:`CodecError` or an identical message — from each.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.remoting.codec import (
+    CodecError,
+    Command,
+    CommandBatch,
+    NeedBytes,
+    Reply,
+    ReplyBatch,
+)
+from repro.remoting.speccodec import SpecializedCodec
+from repro.remoting.wire import InterpretedCodec, frame_bytes
+from repro.stack import build_stack
+
+APIS = ("opencl", "mvnc", "qat")
+
+LAYOUTS = {api: build_stack(api).codec_module.LAYOUT for api in APIS}
+FUNCTIONS = sorted(
+    (api, fn) for api in APIS for fn in LAYOUTS[api]
+)
+
+INTERP = InterpretedCodec()
+
+
+def _specialized() -> SpecializedCodec:
+    codec = SpecializedCodec()
+    for api in APIS:
+        codec.register_module(build_stack(api).codec_module)
+    return codec
+
+
+SPEC = _specialized()
+
+
+# ---------------------------------------------------------------------------
+# strategies: messages drawn from the real generated layouts
+# ---------------------------------------------------------------------------
+
+def _scalar_value(kind: str) -> st.SearchStrategy:
+    if kind == "int":
+        return st.integers(-(2 ** 63), 2 ** 63 - 1)
+    if kind == "float":
+        return st.floats(allow_nan=False)
+    if kind == "str":
+        return st.text(max_size=24)
+    if kind == "ints":
+        return st.lists(st.integers(-(2 ** 31), 2 ** 31 - 1), max_size=4)
+    if kind == "num":
+        return st.one_of(st.integers(-(2 ** 53), 2  ** 53),
+                         st.floats(allow_nan=False))
+    raise AssertionError(kind)
+
+
+@st.composite
+def layout_commands(draw) -> Command:
+    """A Command for a real function, usually layout-conformant.
+
+    ``None`` values, omitted parameters, and occasional trace context
+    are mixed in deliberately: some draws ride the fast path, some
+    fall back, and byte identity must hold either way.
+    """
+    api, fn = draw(st.sampled_from(FUNCTIONS))
+    lay = LAYOUTS[api][fn]
+    scalars = draw(st.fixed_dictionaries({}, optional={
+        name: st.one_of(_scalar_value(kind), st.none())
+        for name, kind in lay["scalars"].items()
+    }))
+    handles = draw(st.fixed_dictionaries({}, optional={
+        name: st.one_of(_scalar_value(kind), st.none())
+        for name, kind in lay["handles"].items()
+    }))
+    in_buffers = draw(st.fixed_dictionaries({}, optional={
+        # sizes straddle the vectored-send splice threshold (512)
+        name: st.binary(max_size=600) for name in lay["inbufs"]
+    }))
+    out_sizes = draw(st.fixed_dictionaries({}, optional={
+        name: st.integers(0, 1 << 20) for name in lay["outsz"]
+    }))
+    return Command(
+        seq=draw(st.integers(0, 2 ** 31)),
+        vm_id=draw(st.sampled_from(("vm-0", "vm-fuzz", ""))),
+        api=api,
+        function=fn,
+        mode=draw(st.sampled_from(("sync", "async"))),
+        scalars=scalars,
+        handles=handles,
+        in_buffers=in_buffers,
+        out_sizes=out_sizes,
+        issue_time=draw(st.floats(0, 1e6)),
+        trace_id=draw(st.one_of(st.none(), st.just("tr-1"))),
+    )
+
+
+@st.composite
+def layout_replies(draw):
+    """A (Reply, reply_to Command) pair for a real function."""
+    api, fn = draw(st.sampled_from(FUNCTIONS))
+    lay = LAYOUTS[api][fn]
+    if lay["ret"] == "scalar":
+        ret = draw(st.one_of(st.none(), st.integers(-(2 ** 31), 2 ** 31),
+                             st.floats(allow_nan=False)))
+    else:
+        ret = None
+    new_names = list(lay["new"])
+    if lay["ret"] == "handle":
+        new_names.append("__ret__")
+    reply = Reply(
+        seq=draw(st.integers(0, 2 ** 31)),
+        return_value=ret,
+        out_payloads=draw(st.fixed_dictionaries({}, optional={
+            name: st.binary(max_size=600) for name in lay["outs"]
+        })),
+        out_scalars=draw(st.fixed_dictionaries({}, optional={
+            name: st.one_of(st.none(), st.integers(-(2 ** 31), 2 ** 31),
+                            st.floats(allow_nan=False), st.text(max_size=8))
+            for name in lay["oscal"]
+        })),
+        new_handles=draw(st.fixed_dictionaries({}, optional={
+            name: st.one_of(
+                st.integers(0, 2 ** 48),
+                st.lists(st.integers(0, 2 ** 48), max_size=3),
+            )
+            for name in new_names
+        })),
+        callbacks=draw(st.sampled_from(([], [[1, [2, 3]]]))),
+        error=draw(st.one_of(st.none(), st.just("boom"))),
+        complete_time=draw(st.floats(0, 1e6)),
+    )
+    return reply, Command(seq=reply.seq, vm_id="vm-0", api=api, function=fn)
+
+
+# ---------------------------------------------------------------------------
+# byte identity, fuzz-verified
+# ---------------------------------------------------------------------------
+
+class TestByteIdentity:
+
+    @settings(max_examples=120, deadline=None)
+    @given(layout_commands())
+    def test_command_frames_identical(self, command):
+        fast = frame_bytes(SPEC.encode_command(command))
+        slow = frame_bytes(INTERP.encode_command(command))
+        assert fast == slow
+        assert SPEC.decode_command(fast) == INTERP.decode_command(slow)
+
+    @settings(max_examples=120, deadline=None)
+    @given(layout_replies())
+    def test_reply_frames_identical(self, pair):
+        reply, command = pair
+        fast = frame_bytes(SPEC.encode_reply(reply, reply_to=command))
+        slow = frame_bytes(INTERP.encode_reply(reply, reply_to=command))
+        assert fast == slow
+        assert (SPEC.decode_reply(fast, reply_to=command)
+                == INTERP.decode_reply(slow, reply_to=command))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(layout_commands(), min_size=1, max_size=3),
+           st.floats(0, 1e6))
+    def test_batch_frames_identical(self, commands, flush_time):
+        # (an empty batch is unencodable by contract: both decoders
+        # reject "batch carries no commands")
+        batch = CommandBatch(vm_id="vm-0", commands=commands,
+                             flush_time=flush_time)
+        fast = frame_bytes(SPEC.encode_command(batch))
+        slow = frame_bytes(INTERP.encode_command(batch))
+        assert fast == slow
+        assert SPEC.decode_command(fast) == INTERP.decode_command(slow)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(layout_replies(), min_size=0, max_size=3),
+           st.floats(0, 1e6))
+    def test_reply_batch_frames_identical(self, pairs, complete_time):
+        replies = [reply for reply, _ in pairs]
+        reply_to = CommandBatch(
+            vm_id="vm-0", commands=[cmd for _, cmd in pairs])
+        batch = ReplyBatch(replies=replies, complete_time=complete_time)
+        fast = frame_bytes(SPEC.encode_reply(batch, reply_to=reply_to))
+        slow = frame_bytes(INTERP.encode_reply(batch, reply_to=reply_to))
+        assert fast == slow
+        assert (SPEC.decode_reply(fast, reply_to=reply_to)
+                == INTERP.decode_reply(slow, reply_to=reply_to))
+
+    def test_need_bytes_identical(self):
+        message = NeedBytes(seq=7, missing=[[7, "src", b"\x01" * 16]],
+                            complete_time=0.5)
+        fast = frame_bytes(SPEC.encode_reply(message))
+        slow = frame_bytes(INTERP.encode_reply(message))
+        assert fast == slow
+        assert SPEC.decode_reply(fast) == INTERP.decode_reply(slow)
+
+
+# ---------------------------------------------------------------------------
+# the fast path actually runs (identity alone could be all-fallback)
+# ---------------------------------------------------------------------------
+
+class TestFastPathEngaged:
+
+    def _conformant(self):
+        return Command(
+            seq=11, vm_id="vm-0", api="mvnc",
+            function="mvncAllocateGraph", mode="sync",
+            scalars={"graph_file_length": 4096},
+            handles={"device_handle": 3},
+            in_buffers={"graph_file": bytes(range(256)) * 16},
+            out_sizes={"graph_handle": 8},
+            issue_time=2.5,
+        )
+
+    def test_conformant_command_is_fast(self):
+        codec = _specialized()
+        wire = codec.encode_command(self._conformant())
+        decoded = codec.decode_command(wire)
+        snap = codec.snapshot()
+        assert snap["fast_encodes"] == 1
+        assert snap["fast_decodes"] == 1
+        assert snap["fallback_encodes"] == 0
+        assert snap["fallback_decodes"] == 0
+        assert decoded == self._conformant()
+
+    def test_conformant_reply_is_fast(self):
+        codec = _specialized()
+        reply = Reply(seq=11, return_value=0,
+                      new_handles={"graph_handle": 9}, complete_time=3.0)
+        wire = codec.encode_reply(reply, reply_to=self._conformant())
+        decoded = codec.decode_reply(wire, reply_to=self._conformant())
+        snap = codec.snapshot()
+        assert snap["fast_encodes"] == 1
+        assert snap["fast_decodes"] == 1
+        assert snap["fallback_encodes"] == 0
+        assert decoded == reply
+
+    def test_deviating_command_falls_back_identically(self):
+        codec = _specialized()
+        command = self._conformant()
+        command.cached_refs = {"graph_file": [b"\x02" * 16, 4096, "buf"]}
+        command.in_buffers = {}
+        wire = frame_bytes(codec.encode_command(command))
+        assert wire == frame_bytes(INTERP.encode_command(command))
+        assert codec.snapshot()["fallback_encodes"] == 1
+        assert codec.decode_command(wire) == command
+
+    def test_large_payload_is_spliced_zero_copy(self):
+        codec = _specialized()
+        command = self._conformant()
+        frame = codec.encode_command(command)
+        # the 4 KiB graph_file payload rides the frame as a view over
+        # the caller's bytes, not a copy into the header allocation
+        payload = command.in_buffers["graph_file"]
+        segments = getattr(frame, "segments", None)
+        assert segments is not None
+        assert any(
+            seg is payload
+            or (isinstance(seg, memoryview) and seg.obj is payload)
+            for seg in segments
+        )
+
+
+# ---------------------------------------------------------------------------
+# trust-boundary hardening parity
+# ---------------------------------------------------------------------------
+
+def _both_decode_command(data):
+    try:
+        fast = SPEC.decode_command(data)
+    except CodecError:
+        fast = CodecError
+    try:
+        slow = INTERP.decode_command(data)
+    except CodecError:
+        slow = CodecError
+    return fast, slow
+
+
+def _hostile_frames():
+    for api in APIS:
+        fn = sorted(LAYOUTS[api])[0]
+        lay = LAYOUTS[api][fn]
+        yield frame_bytes(INTERP.encode_command(Command(
+            seq=3, vm_id="vm-h", api=api, function=fn, mode="async",
+            scalars={name: 7 for name in lay["scalars"]},
+            handles={name: 9 for name in lay["handles"]},
+            in_buffers={name: bytes(range(48)) for name in lay["inbufs"]},
+            out_sizes={name: 64 for name in lay["outsz"]},
+            issue_time=1.25,
+        )))
+
+
+class TestHardeningParity:
+
+    def test_systematic_truncation_parity(self):
+        for wire in _hostile_frames():
+            for cut in range(len(wire)):
+                fast, slow = _both_decode_command(wire[:cut])
+                assert fast is CodecError
+                assert slow is CodecError
+
+    def test_single_byte_corruption_parity(self):
+        for wire in _hostile_frames():
+            for index in range(len(wire)):
+                for flip in (0x01, 0x80, 0xFF):
+                    mutated = bytearray(wire)
+                    mutated[index] ^= flip
+                    fast, slow = _both_decode_command(bytes(mutated))
+                    assert fast == slow or (fast is CodecError
+                                            and slow is CodecError)
+
+    def test_decode_bomb_parity(self):
+        # a u32 length field promising far more data than the frame
+        # holds must bounce off both codecs, not allocate
+        wire = bytearray(next(iter(_hostile_frames())))
+        index = wire.find(b"seq")
+        wire[index - 4:index] = b"\xff\xff\xff\xff"
+        fast, slow = _both_decode_command(bytes(wire))
+        assert fast is CodecError
+        assert slow is CodecError

@@ -10,7 +10,7 @@ from repro.remoting.codec import (
     CodecError,
     Command,
     Reply,
-    WireCodec,
+    StreamFramer,
     decode_message,
     decode_value,
     encode_message,
@@ -137,7 +137,7 @@ class TestStreamFraming:
         cmd = Command(seq=1, vm_id="v", api="a", function="f")
         reply = Reply(seq=1, return_value=0)
         stream = encode_message(cmd) + encode_message(reply)
-        codec = WireCodec()
+        codec = StreamFramer()
         received = []
         for i in range(0, len(stream), 3):
             codec.feed(stream[i:i + 3])
@@ -147,7 +147,7 @@ class TestStreamFraming:
         assert received[1] == reply
 
     def test_partial_message_not_delivered(self):
-        codec = WireCodec()
+        codec = StreamFramer()
         data = encode_message(Command(seq=1, vm_id="v", api="a", function="f"))
         codec.feed(data[:10])
         assert codec.messages() == []
@@ -162,7 +162,7 @@ class TestStreamFraming:
             for i in range(5)
         ]
         stream = b"".join(encode_message(c) for c in commands)
-        codec = WireCodec()
+        codec = StreamFramer()
         received = []
         for i in range(0, len(stream), chunk):
             codec.feed(stream[i:i + chunk])
