@@ -4,7 +4,17 @@ AvA migrates by replaying recorded calls and restoring buffer
 snapshots.  The bench measures downtime as device state grows, and the
 log-size reduction from Nooks-style object tracking (destroyed objects
 drop out of the log).
+
+The live sections compare the iterative pre-copy protocol against the
+seed's stop-the-world migration under sustained guest traffic (gate:
+live downtime <= 25% of stop-the-world), and demonstrate the elastic
+rebalancer flattening a pool's utilization spread by moving a tenant
+off the hot member.  ``test_gate`` is the fixture-free CI entry; it
+also writes ``BENCH_migration.json``.
 """
+
+import json
+import os
 
 import numpy as np
 
@@ -102,3 +112,161 @@ def test_object_tracking_prunes_log(once):
           "tracking)")
     assert after == baseline
     assert pruned >= 100
+
+
+def live_vs_stop_the_world():
+    """Same device state, sustained traffic: live vs frozen migration."""
+    rows = []
+    for num_buffers, buffer_kib in ((8, 256), (16, 1024)):
+        nbytes = buffer_kib * 1024
+
+        # stop-the-world baseline: the guest is frozen for the whole
+        # snapshot + replay + restore sequence
+        hv = make_hypervisor(apis=("opencl",))
+        cl = hv.create_vm("vm-stw").library("opencl")
+        build_guest_state(cl, num_buffers, nbytes)
+        stw = hv.migrate_vm("vm-stw", "opencl")
+
+        # live: the guest keeps writing between pre-copy rounds; only
+        # the cutover window is frozen
+        hv2 = make_hypervisor(apis=("opencl",))
+        cl2 = hv2.create_vm("vm-live").library("opencl")
+        _, queue, mems = build_guest_state(cl2, num_buffers, nbytes)
+        engine = hv2.start_live_migration("vm-live", "opencl")
+        for round_index in range(3):
+            update = np.full(nbytes // 4, 100.0 + round_index,
+                             dtype=np.float32)
+            code = cl2.clEnqueueWriteBuffer(
+                queue, mems[round_index % num_buffers], types.CL_TRUE,
+                0, nbytes, update, 0, None, None)
+            assert code == types.CL_SUCCESS
+            engine.precopy_round()
+        live = engine.cutover()
+        assert not live.aborted
+
+        # fidelity spot-check on the destination
+        out = np.zeros(nbytes // 4, dtype=np.float32)
+        code = cl2.clEnqueueReadBuffer(queue, mems[2 % num_buffers],
+                                       types.CL_TRUE, 0, nbytes, out, 0,
+                                       None, None)
+        assert code == types.CL_SUCCESS
+        assert (out == 102.0).all()
+
+        rows.append({
+            "buffers": num_buffers,
+            "kib": buffer_kib,
+            "state_mib": stw.snapshot_bytes / (1 << 20),
+            "stw_downtime_ms": stw.downtime * 1e3,
+            "live_downtime_ms": live.downtime * 1e3,
+            "live_total_ms": live.total_time * 1e3,
+            "rounds": live.rounds,
+            "downtime_ratio": live.downtime / stw.downtime,
+        })
+    return rows
+
+
+def rebalance_demo():
+    """Heat one member, add a cold one: the rebalancer flattens the
+    spread; a no-rebalance control run keeps limping."""
+    from repro.hypervisor.pool import (
+        DeviceClass,
+        PoolRebalancer,
+        RebalancePolicy,
+    )
+    from repro.workloads import BFSWorkload
+
+    def run(rebalance):
+        hv = make_hypervisor(apis=("opencl",))
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-hot")
+        for vm_id in ("vm-a", "vm-b"):
+            vm = hv.create_vm(vm_id)
+            assert BFSWorkload(scale=0.5).run(
+                vm.library("opencl")).verified
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-cold")
+        moved = None
+        if rebalance:
+            rebalancer = PoolRebalancer(
+                hv, policy=RebalancePolicy(min_spread=0.05,
+                                           min_hot_utilization=0.01))
+            reports = rebalancer.rebalance_once()
+            assert reports and all(not r.aborted for r in reports)
+            moved = reports[0].source_vm
+        # post-decision traffic: both tenants keep working
+        for vm_id in ("vm-a", "vm-b"):
+            assert BFSWorkload(scale=0.5).run(
+                hv.vms[vm_id].library("opencl")).verified
+        spread = PoolRebalancer(hv).utilization_spread()
+        placements = {vm: member.device_id
+                      for vm, member in hv.pool.assignments.items()}
+        return spread, placements, moved
+
+    spread_with, placements_with, moved = run(rebalance=True)
+    spread_without, placements_without, _ = run(rebalance=False)
+    return {
+        "moved_vm": moved,
+        "spread_with_rebalance": spread_with,
+        "spread_without_rebalance": spread_without,
+        "placements_with_rebalance": placements_with,
+        "placements_without_rebalance": placements_without,
+    }
+
+
+def _assert_gates(live_rows, rebalance):
+    for row in live_rows:
+        assert row["live_downtime_ms"] <= 0.25 * row["stw_downtime_ms"], (
+            f"live downtime {row['live_downtime_ms']:.3f}ms above 25% of "
+            f"stop-the-world {row['stw_downtime_ms']:.3f}ms "
+            f"({row['buffers']}x{row['kib']}KiB)"
+        )
+        assert row["live_downtime_ms"] > 0
+    assert rebalance["moved_vm"] is not None
+    assert len(set(rebalance["placements_with_rebalance"].values())) == 2, \
+        "rebalancer left both tenants on one member"
+    assert rebalance["spread_with_rebalance"] < \
+        rebalance["spread_without_rebalance"], (
+        "rebalanced pool should end with a smaller utilization spread"
+    )
+
+
+def _print_live(live_rows, rebalance):
+    print("\n=== live migration vs stop-the-world (under traffic) ===")
+    print(f"{'buffers':>8s} {'each':>8s} {'stw':>10s} {'live':>10s} "
+          f"{'ratio':>7s} {'rounds':>7s}")
+    for row in live_rows:
+        print(f"{row['buffers']:8d} {row['kib']:6d}KiB "
+              f"{row['stw_downtime_ms']:8.3f}ms "
+              f"{row['live_downtime_ms']:8.4f}ms "
+              f"{row['downtime_ratio']:7.2%} {row['rounds']:7d}")
+    print(f"\nrebalance: moved {rebalance['moved_vm']} off the hot "
+          f"member; spread {rebalance['spread_without_rebalance']:.3f} "
+          f"-> {rebalance['spread_with_rebalance']:.3f}")
+
+
+def test_live_migration_beats_stop_the_world(once):
+    live_rows = once(live_vs_stop_the_world)
+    rebalance = rebalance_demo()
+    _print_live(live_rows, rebalance)
+    _assert_gates(live_rows, rebalance)
+
+
+def test_gate():
+    """CI gate, fixture-free on purpose (runs without pytest-benchmark).
+
+    Gates: live downtime <= 25% of stop-the-world on the same state
+    under sustained traffic, and the rebalancer demonstrably moves a
+    tenant off the hot member, shrinking the pool's utilization spread.
+    Writes BENCH_migration.json for dashboards and regression diffs.
+    """
+    live_rows = live_vs_stop_the_world()
+    rebalance = rebalance_demo()
+    _print_live(live_rows, rebalance)
+    _assert_gates(live_rows, rebalance)
+    path = os.path.join(os.path.dirname(__file__),
+                        "BENCH_migration.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump({
+            "figure": "migration",
+            "live_vs_stop_the_world": live_rows,
+            "rebalance": rebalance,
+        }, handle, indent=2, sort_keys=True)
+        handle.write("\n")

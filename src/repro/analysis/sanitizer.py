@@ -69,6 +69,9 @@ class NoopSanitizer:
     def check_pool_conservation(self, *args: Any, **kw: Any) -> None:  # pragma: no cover
         pass
 
+    def check_migration_handles(self, *args: Any, **kw: Any) -> None:  # pragma: no cover
+        pass
+
 
 NOOP = NoopSanitizer()
 
@@ -202,6 +205,32 @@ class Sanitizer:
                 f"restarted worker for VM {vm_id!r} API {api!r} still "
                 f"sees {store_entries} transfer-store entries; refs "
                 f"into the dead server's address space must miss"
+            )
+
+    # -- hook: live-migration handle fidelity ------------------------------
+
+    def check_migration_handles(self, vm_id: str, api: str,
+                                source_ids: Set[int],
+                                dest_ids: Set[int]) -> None:
+        """At cutover, the destination must hold *exactly* the live
+        guest ids the source held — original ids preserved, nothing
+        leaked (a dead object replayed) and nothing dropped (a live
+        object missed by replay)."""
+        self._tick("migration-handles")
+        leaked = dest_ids - source_ids
+        dropped = source_ids - dest_ids
+        if leaked or dropped:
+            detail = []
+            if dropped:
+                detail.append(
+                    f"missing {sorted(hex(i) for i in dropped)}")
+            if leaked:
+                detail.append(
+                    f"extra {sorted(hex(i) for i in leaked)}")
+            self._fail(
+                f"live migration of VM {vm_id!r} API {api!r} broke "
+                f"handle fidelity: destination table "
+                f"{' and '.join(detail)} relative to the source"
             )
 
     # -- hook: pool device-time conservation ------------------------------

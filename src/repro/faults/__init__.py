@@ -25,6 +25,11 @@ from repro.faults.errors import (
     WorkerCrashed,
     WorkerLost,
 )
+from repro.faults.migration import (
+    MigrationChannel,
+    MigrationFrameLost,
+    migration_frame,
+)
 from repro.faults.plan import (
     MODES,
     FaultDecision,
@@ -41,9 +46,12 @@ __all__ = [
     "FaultPlan",
     "FaultyTransport",
     "MODES",
+    "MigrationChannel",
+    "MigrationFrameLost",
     "RetryPolicy",
     "WorkerCrashed",
     "WorkerLost",
+    "migration_frame",
     "run_chaos",
 ]
 

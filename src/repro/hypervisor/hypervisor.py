@@ -97,6 +97,9 @@ class Hypervisor:
         #: device pool; None keeps the pre-pool implicit-singleton
         #: behaviour (binders use their configured device factories)
         self.pool: Optional[DevicePool] = None
+        #: every migration this hypervisor ran (completed and aborted),
+        #: in order — the admin interface reports from this
+        self.migrations: list = []
 
     # -- configuration ---------------------------------------------------------
 
@@ -288,7 +291,9 @@ class Hypervisor:
         return worker
 
     def _spawn_worker(self, vm_id: str,
-                      registration: ApiRegistration) -> ApiServerWorker:
+                      registration: ApiRegistration,
+                      pool_device: Optional[PooledDevice] = None,
+                      ) -> ApiServerWorker:
         worker = ApiServerWorker(
             vm_id=vm_id,
             api_name=registration.name,
@@ -298,7 +303,12 @@ class Hypervisor:
             ),
             record_kinds=registration.record_kinds,
         )
-        if self.pool is not None:
+        if pool_device is not None:
+            # explicit binding: live migration builds its destination on
+            # a chosen member *without* re-homing the VM — placement
+            # only moves at a successful cutover (pool.migrate)
+            worker.pool_device = pool_device
+        elif self.pool is not None:
             # placement before binding: the session binder reads
             # worker.pool_device to pick the member's native devices.
             # placement is per-VM, so every API of a VM (and a restarted
@@ -334,7 +344,50 @@ class Hypervisor:
         self.workers[key] = target
         # the guest resumes no earlier than the migration finished
         self.vms[vm_id].clock.advance_to(target.clock.now, "migration")
+        self.migrations.append(report)
         return report
+
+    def start_live_migration(self, vm_id: str, api_name: str,
+                             target_device_id: Optional[str] = None,
+                             policy: Optional[Any] = None):
+        """Begin a live migration; returns the running engine.
+
+        The caller drives it: ``precopy_round()`` while the source keeps
+        serving, then ``cutover()``.  :meth:`live_migrate_vm` wraps the
+        whole protocol when no interleaved traffic control is needed.
+        """
+        from repro.migration.live import LiveMigration
+
+        engine = LiveMigration(self, vm_id, api_name,
+                               target_device_id=target_device_id,
+                               policy=policy)
+        engine.begin()
+        return engine
+
+    def live_migrate_vm(self, vm_id: str, api_name: str,
+                        target_device_id: Optional[str] = None,
+                        policy: Optional[Any] = None,
+                        serve: Optional[Callable[[int], Any]] = None,
+                        ) -> MigrationReport:
+        """Live-migrate one (VM, API) worker: iterative pre-copy, then a
+        short frozen cutover.  Raises
+        :class:`~repro.migration.live.MigrationAborted` on failure, with
+        the source still serving.
+
+        ``serve(round_index)`` is called after every pre-copy round —
+        the test/benchmark hook that keeps guest traffic flowing (and
+        dirtying state) while the migration runs underneath it.
+        """
+        engine = self.start_live_migration(
+            vm_id, api_name, target_device_id=target_device_id,
+            policy=policy)
+        while not engine.converged and \
+                engine.rounds < engine.policy.max_rounds:
+            engine.precopy_round()
+            if serve is not None and not engine.converged and \
+                    engine.rounds < engine.policy.max_rounds:
+                serve(engine.rounds)
+        return engine.cutover()
 
     # -- administration interface (paper §4.3) -------------------------------------
 
@@ -359,6 +412,21 @@ class Hypervisor:
                     "misses": metrics.xfer_misses,
                     "bytes_elided": metrics.xfer_bytes_elided,
                     "store": store.snapshot(),
+                }
+            mine = [m for m in self.migrations if m.source_vm == vm_id]
+            if mine:
+                completed = [m for m in mine if not m.aborted]
+                report[vm_id]["migration"] = {
+                    "count": len(mine),
+                    "aborted": len(mine) - len(completed),
+                    "rounds": sum(m.rounds for m in mine),
+                    "downtime": sum(m.downtime for m in completed),
+                    "precopy_bytes": sum(m.precopy_bytes for m in mine),
+                    "delta_bytes": sum(m.delta_bytes for m in completed),
+                    "elided_bytes": sum(m.elided_bytes for m in mine),
+                    "retransmits": sum(m.retransmits for m in mine),
+                    "stall": metrics.migration_stall,
+                    "frozen_rejected": metrics.frozen_rejected,
                 }
         if self.slo_monitor is not None:
             breaches = self.slo_monitor.breaches_by_vm()
@@ -391,5 +459,16 @@ class Hypervisor:
             report["_pool"] = {
                 "devices": devices,
                 "total_capacity": self.pool.total_capacity,
+            }
+        if self.migrations:
+            completed = [m for m in self.migrations if not m.aborted]
+            report["_migration"] = {
+                "count": len(self.migrations),
+                "completed": len(completed),
+                "aborted": len(self.migrations) - len(completed),
+                "live": sum(1 for m in self.migrations
+                            if m.mode == "live"),
+                "downtime": sum(m.downtime for m in completed),
+                "total_time": sum(m.total_time for m in completed),
             }
         return report

@@ -676,3 +676,138 @@ class PoolScheduler:
             steals=steals,
             makespan=makespan,
         )
+
+
+# ---------------------------------------------------------------------------
+# elastic rebalancing: utilization-driven live migration across members
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RebalancePolicy:
+    """When a utilization imbalance is worth a live migration."""
+
+    #: hot-minus-cold utilization gap that triggers a move
+    min_spread: float = 0.15
+    #: never migrate off a member cooler than this (absolute floor —
+    #: rebalancing an idle pool just churns)
+    min_hot_utilization: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.min_spread <= 1.0:
+            raise ValueError("min_spread must be within [0, 1]")
+        if not 0.0 <= self.min_hot_utilization <= 1.0:
+            raise ValueError("min_hot_utilization must be within [0, 1]")
+
+
+class PoolRebalancer:
+    """Moves tenants off hot pool members with live migration.
+
+    Watches per-member utilization through a
+    :class:`~repro.telemetry.metrics.MetricsRegistry` (delta-absorbed,
+    so repeated observation never double counts), and when the pool's
+    utilization spread exceeds :attr:`RebalancePolicy.min_spread`, picks
+    the hot member's busiest resident VM and live-migrates every one of
+    its workers to the coolest member that fits it.  The move itself is
+    the pre-copy/cutover protocol of :mod:`repro.migration.live` — the
+    victim keeps serving on the hot member until its cutover windows.
+    """
+
+    def __init__(self, hypervisor: Any, registry: Any = None,
+                 policy: Optional[RebalancePolicy] = None,
+                 migration_policy: Any = None) -> None:
+        if hypervisor.pool is None:
+            raise PoolCapacityError(
+                "rebalancing requires a device pool")
+        if registry is None:
+            from repro.telemetry.metrics import MetricsRegistry
+
+            registry = MetricsRegistry()
+        self.hv = hypervisor
+        self.registry = registry
+        self.policy = policy or RebalancePolicy()
+        self.migration_policy = migration_policy
+        #: completed migration reports, in the order moves were made
+        self.moves: List[Any] = []
+
+    # -- observation -------------------------------------------------------
+
+    def utilizations(self) -> Dict[str, float]:
+        """Fresh per-member utilization (absorbs the pool first)."""
+        self.registry.absorb_pool(self.hv.pool)
+        return {
+            member.device_id:
+                self.registry.devices[member.device_id].utilization
+                if member.device_id in self.registry.devices else 0.0
+            for member in self.hv.pool.devices
+        }
+
+    def utilization_spread(self) -> float:
+        """Hottest-minus-coolest member utilization, [0, 1]."""
+        utils = self.utilizations()
+        if len(utils) < 2:
+            return 0.0
+        return max(utils.values()) - min(utils.values())
+
+    # -- decision ----------------------------------------------------------
+
+    def pick(self) -> Optional[Tuple[str, PooledDevice, PooledDevice]]:
+        """The (victim VM, hot member, cold member) of the next move,
+        or ``None`` when the pool is balanced enough to leave alone."""
+        utils = self.utilizations()
+        if len(utils) < 2:
+            return None
+        pool = self.hv.pool
+        hot = max(pool.devices,
+                  key=lambda d: (utils[d.device_id], d.device_id))
+        cold = min(pool.devices,
+                   key=lambda d: (utils[d.device_id], d.device_id))
+        if hot is cold:
+            return None
+        spread = utils[hot.device_id] - utils[cold.device_id]
+        if spread < self.policy.min_spread:
+            return None
+        if utils[hot.device_id] < self.policy.min_hot_utilization:
+            return None
+        # busiest resident first: moving the tenant that causes the
+        # heat shrinks the spread fastest
+        def busy(vm_id: str) -> float:
+            return sum(
+                worker.stats.busy_time
+                for (wvm, _api), worker in self.hv.workers.items()
+                if wvm == vm_id
+            )
+
+        victims = sorted(hot.resident,
+                         key=lambda vm: (-busy(vm), vm))
+        for vm_id in victims:
+            if cold.fits(pool._reservation(vm_id)):
+                return vm_id, hot, cold
+        return None
+
+    # -- action ------------------------------------------------------------
+
+    def rebalance_once(self, serve: Any = None) -> List[Any]:
+        """One rebalancing step: live-migrate the chosen victim's
+        workers (every API) to the cold member.  Returns the migration
+        reports (empty when the pool was already balanced).
+
+        ``serve`` is forwarded to
+        :meth:`~repro.hypervisor.hypervisor.Hypervisor.live_migrate_vm`
+        — traffic keeps flowing on the hot member between pre-copy
+        rounds.
+        """
+        choice = self.pick()
+        if choice is None:
+            return []
+        vm_id, _hot, cold = choice
+        reports = []
+        apis = sorted(api for (wvm, api) in self.hv.workers
+                      if wvm == vm_id)
+        for api_name in apis:
+            report = self.hv.live_migrate_vm(
+                vm_id, api_name, target_device_id=cold.device_id,
+                policy=self.migration_policy, serve=serve)
+            reports.append(report)
+            self.moves.append(report)
+        return reports

@@ -99,6 +99,10 @@ class VMMetrics:
     xfer_misses: int = 0
     #: payload bytes that never crossed the channel thanks to hits
     xfer_bytes_elided: int = 0
+    #: commands refused because the VM was frozen for migration cutover
+    frozen_rejected: int = 0
+    #: virtual seconds post-cutover commands waited for the thaw point
+    migration_stall: float = 0.0
     #: resource name → accumulated estimate (from `consumes` annotations)
     resources: Dict[str, float] = field(default_factory=dict)
     per_function: Dict[str, int] = field(default_factory=dict)
@@ -182,6 +186,11 @@ class Router:
         #: optional SLO monitor fed every routed reply (observation
         #: only — never touches scheduling or completion times)
         self.slo_monitor: Optional[Any] = None
+        #: vm_id → reason, while the VM is frozen (migration cutover)
+        self.frozen_vms: Dict[str, str] = {}
+        #: vm_id → virtual time before which post-thaw commands may not
+        #: release (the cutover window the guest must absorb)
+        self.thaw_at: Dict[str, float] = {}
 
     # -- configuration -------------------------------------------------------
 
@@ -194,6 +203,34 @@ class Router:
 
     def metrics_for(self, vm_id: str) -> VMMetrics:
         return self.metrics.setdefault(vm_id, VMMetrics())
+
+    # -- migration freeze window ----------------------------------------------
+
+    def freeze_vm(self, vm_id: str,
+                  reason: str = "migration cutover") -> None:
+        """Open the frozen window: the VM's commands are refused.
+
+        Belt and braces for the single-threaded simulation — nothing
+        *should* issue while a cutover runs (the engine drains the VM's
+        coalescing queues first), but a frame that does arrive gets a
+        typed error instead of racing the handoff.
+        """
+        self.frozen_vms[vm_id] = reason
+
+    def thaw_vm(self, vm_id: str,
+                resume_at: Optional[float] = None) -> None:
+        """Close the frozen window.
+
+        ``resume_at`` (the destination clock at cutover completion)
+        clamps subsequent releases: commands arriving before it wait,
+        and that wait is accounted as ``migration_stall`` — the honest
+        guest-visible downtime, charged where it lands instead of
+        silently warping the guest clock.
+        """
+        self.frozen_vms.pop(vm_id, None)
+        if resume_at is not None:
+            self.thaw_at[vm_id] = max(
+                self.thaw_at.get(vm_id, 0.0), resume_at)
 
     # -- verification ----------------------------------------------------------
 
@@ -551,6 +588,14 @@ class Router:
                batched: bool = False) -> Reply:
         """Verify, schedule and dispatch one decoded command."""
         tracer = _tele.active()
+        frozen = self.frozen_vms.get(command.vm_id)
+        if frozen is not None:
+            entry = self.metrics_for(command.vm_id)
+            entry.rejected += 1
+            entry.frozen_rejected += 1
+            return Reply(seq=command.seq,
+                         error=f"router: vm-frozen ({frozen})",
+                         complete_time=arrival)
         try:
             info = self._verify(command)
         except RouterError as err:
@@ -590,6 +635,17 @@ class Router:
 
         verified_at = arrival + self.interposition_cost
         release = verified_at
+        resume = self.thaw_at.get(command.vm_id)
+        if resume is not None:
+            if release < resume:
+                # the first calls after a live-migration cutover absorb
+                # the frozen window here, visibly, instead of the guest
+                # clock being warped underneath the application
+                self.metrics_for(command.vm_id).migration_stall += (
+                    resume - release)
+                release = resume
+            else:
+                del self.thaw_at[command.vm_id]
         if self.rate_limiter is not None:
             allowed = self.rate_limiter.next_allowed(command.vm_id, release)
             self.metrics_for(command.vm_id).rate_delay += allowed - release

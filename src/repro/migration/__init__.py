@@ -6,23 +6,40 @@ annotated ``record(...)`` in the spec are logged during normal execution
 destroyed objects drop out of the log); migration replays the log on a
 fresh API server with forced handle ids and restores device-buffer
 contents from a synthesized snapshot (:mod:`repro.migration.replayer`).
+
+:mod:`repro.migration.live` upgrades the protocol to live migration:
+iterative pre-copy rounds replay the log and ship dirty buffer contents
+while the source keeps serving, so guest-visible downtime shrinks to a
+short frozen cutover window.
 """
 
+from repro.migration.live import (
+    LiveMigration,
+    MigrationAborted,
+    MigrationPolicy,
+)
 from repro.migration.recorder import CallRecorder, RecordedCall
 from repro.migration.replayer import (
     MigrationError,
     MigrationReport,
     migrate_worker,
+    replay_entry,
+    replay_log,
     restore_buffers,
     snapshot_buffers,
 )
 
 __all__ = [
     "CallRecorder",
+    "LiveMigration",
+    "MigrationAborted",
     "MigrationError",
+    "MigrationPolicy",
     "MigrationReport",
     "RecordedCall",
     "migrate_worker",
+    "replay_entry",
+    "replay_log",
     "restore_buffers",
     "snapshot_buffers",
 ]

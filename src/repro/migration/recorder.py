@@ -13,7 +13,7 @@ replaying the log therefore recreates exactly the live objects.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Set
+from typing import Any, Callable, Dict, List, Set
 
 from repro.remoting.codec import Command, Reply
 from repro.spec.model import RecordKind
@@ -50,6 +50,12 @@ class CallRecorder:
         self.log: List[RecordedCall] = []
         #: destroys observed (metrics: how much the tracking saved)
         self.pruned_calls = 0
+        #: notified as ``listener(command, dead_ids)`` whenever a destroy
+        #: prunes the log.  Live migration subscribes here: a destination
+        #: that already replayed the pruned creates must replay the
+        #: destroy too, or it leaks the dead objects' device memory.
+        self.destroy_listeners: List[
+            Callable[[Command, Set[int]], None]] = []
 
     def __len__(self) -> int:
         return len(self.log)
@@ -89,6 +95,14 @@ class CallRecorder:
         dead = _handle_ids(command.handles)
         if not dead:
             return
+        if self.destroy_listeners:
+            # the command outlives the wire frame once a listener keeps
+            # it — materialize donated memoryview payloads first
+            for name, chunk in command.in_buffers.items():
+                if isinstance(chunk, memoryview):
+                    command.in_buffers[name] = bytes(chunk)
+            for listener in self.destroy_listeners:
+                listener(command, set(dead))
         kept: List[RecordedCall] = []
         for entry in self.log:
             if entry.created_ids() & dead:

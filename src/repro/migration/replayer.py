@@ -25,14 +25,45 @@ class MigrationError(Exception):
 
 @dataclass
 class MigrationReport:
-    """What one migration cost."""
+    """What one migration cost.
+
+    Stop-the-world migrations fill the original fields; live migrations
+    (:mod:`repro.migration.live`) additionally account the pre-copy
+    rounds, so ``downtime`` is only the frozen cutover window while
+    ``total_time`` covers the whole background transfer.
+    """
 
     replayed_calls: int = 0
     restored_buffers: int = 0
     snapshot_bytes: int = 0
-    #: virtual seconds of guest-visible downtime (snapshot + replay + restore)
+    #: virtual seconds of guest-visible downtime.  Stop-the-world:
+    #: snapshot + replay + restore.  Live: the frozen cutover window.
     downtime: float = 0.0
     source_vm: str = ""
+    #: "stop-the-world" or "live"
+    mode: str = "stop-the-world"
+    api: str = ""
+    #: destination pool member, when the migration targeted a pool
+    target_device: str = ""
+    # -- live-migration accounting (zero for stop-the-world) ----------
+    #: pre-copy rounds run before the cutover
+    rounds: int = 0
+    #: payload bytes shipped during pre-copy (source kept serving)
+    precopy_bytes: int = 0
+    #: buffer frames shipped during pre-copy
+    precopy_frames: int = 0
+    #: bytes that crossed as transfer-store refs instead of payloads
+    elided_bytes: int = 0
+    #: payload bytes shipped inside the frozen window (the final delta)
+    delta_bytes: int = 0
+    #: dirty buffers shipped inside the frozen window
+    delta_buffers: int = 0
+    #: migration frames retransmitted after injected channel faults
+    retransmits: int = 0
+    #: begin → cutover-complete, on the destination clock
+    total_time: float = 0.0
+    aborted: bool = False
+    reason: str = ""
 
 
 def _is_buffer_object(obj: Any) -> bool:
@@ -82,19 +113,26 @@ def restore_buffers(worker: "ApiServerWorker",
     return restored
 
 
+def replay_entry(target: "ApiServerWorker", entry: Any) -> None:
+    """Re-execute one recorded call on ``target`` with forced ids."""
+    # Forced ids must be copied: bind() pops from lists in place.
+    target.handle_override = copy.deepcopy(entry.created)
+    try:
+        command = copy.deepcopy(entry.command)
+        reply = target.execute(command, release_time=target.clock.now)
+    finally:
+        target.handle_override = None
+    if reply.error is not None:
+        raise MigrationError(
+            f"replaying {entry.command.function} failed: {reply.error}"
+        )
+
+
 def replay_log(target: "ApiServerWorker", recorder: CallRecorder) -> int:
     """Re-execute recorded calls on ``target`` with forced handle ids."""
     replayed = 0
     for entry in recorder.log:
-        # Forced ids must be copied: bind() pops from lists in place.
-        target.handle_override = copy.deepcopy(entry.created)
-        command = copy.deepcopy(entry.command)
-        reply = target.execute(command, release_time=target.clock.now)
-        target.handle_override = None
-        if reply.error is not None:
-            raise MigrationError(
-                f"replaying {entry.command.function} failed: {reply.error}"
-            )
+        replay_entry(target, entry)
         replayed += 1
     return replayed
 
@@ -129,4 +167,7 @@ def migrate_worker(
         snapshot_bytes=sum(len(p) for p in snapshot.values()),
         downtime=target.clock.now - began,
         source_vm=source.vm_id,
+        mode="stop-the-world",
+        api=source.api_name,
+        total_time=target.clock.now - began,
     )

@@ -112,6 +112,10 @@ class HandleTable:
     def live_objects(self) -> List[Any]:
         return list(self._objects.values())
 
+    def snapshot_ids(self) -> set:
+        """The set of currently live guest ids (migration invariants)."""
+        return set(self._objects)
+
     def clear(self) -> None:
         self._objects.clear()
         self._reverse.clear()

@@ -185,6 +185,16 @@ class ApiServerWorker:
         self.crashed = reason
         self.handles.clear()
 
+    def retire(self, reason: str) -> None:
+        """Decommission this worker after its state moved elsewhere.
+
+        Unlike :meth:`crash`, the handle table survives — a live
+        migration's post-cutover invariant compares it against the
+        destination's — but any stray command (a bug: the router should
+        have re-bound the slot) is refused rather than served stale.
+        """
+        self.poisoned = reason
+
     def execute(self, command: Command, release_time: float,
                 batched: bool = False) -> Reply:
         """Run one verified command; always returns a Reply.

@@ -487,3 +487,106 @@ class TestXferCacheChaos:
             return vm.clock.now
 
         assert run(False) == run(True)
+
+
+class TestMigrationChaos:
+    """Every fault mode against the live-migration channel's two legs.
+
+    The containment invariant, extended to migrations: whatever the
+    plan injects into pre-copy or cutover frames (or the destination
+    worker), a live migration either completes with full fidelity or
+    aborts back to a still-serving source.  There is never a
+    half-migrated worker, a stuck frozen VM, or wrong bytes.
+    """
+
+    N = 1024
+
+    def migration_stack(self, vm_id="vm-mig"):
+        hypervisor, vm = fresh_stack(vm_id)
+        env = opened_env(vm)
+        data = np.arange(self.N, dtype=np.float32)
+        mem = env.buffer(data.nbytes, host=data)
+        return hypervisor, vm, env, mem, data
+
+    def _read_back(self, env, mem, nbytes, attempts=30):
+        last = None
+        for _ in range(attempts):
+            try:
+                return env.read(mem, nbytes)
+            except RemotingError as err:
+                last = err
+        raise AssertionError(f"never read back: {last}")
+
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_mode_never_half_migrates(self, mode):
+        from repro.migration import MigrationAborted
+
+        hypervisor, vm, env, mem, data = self.migration_stack()
+        source = hypervisor.worker(vm.vm_id, "opencl")
+        hypervisor.install_fault_plan(FaultPlan.for_mode(mode, seed=SEED))
+        try:
+            report = hypervisor.live_migrate_vm(vm.vm_id, "opencl")
+        except MigrationAborted:
+            # clean abort: the source slot is untouched and serving
+            assert hypervisor.worker(vm.vm_id, "opencl") is source
+            assert hypervisor.migrations[-1].aborted
+        else:
+            assert not report.aborted
+            assert hypervisor.worker(vm.vm_id, "opencl") is not source
+        # no stuck frozen window either way
+        assert vm.vm_id not in hypervisor.router.frozen_vms
+        # and in both outcomes the guest reads its own bytes back
+        got = self._read_back(env, mem, data.nbytes)
+        assert got.tobytes() == data.tobytes(), \
+            f"mode {mode} delivered wrong bytes"
+
+    def test_total_loss_aborts_to_serving_source(self):
+        from repro.migration import MigrationAborted
+
+        hypervisor, vm, env, mem, data = self.migration_stack("vm-loss")
+        source = hypervisor.worker(vm.vm_id, "opencl")
+        # arm the migration channel only — the guest channel stays
+        # clean, so "source still serving" is directly observable
+        plan = FaultPlan(seed=SEED, drop=1.0)
+        hypervisor.fault_plan = plan
+        with pytest.raises(MigrationAborted):
+            hypervisor.live_migrate_vm(vm.vm_id, "opencl")
+        assert hypervisor.worker(vm.vm_id, "opencl") is source
+        assert any(event.leg == "cutover" for event in plan.events)
+        got = env.read(mem, data.nbytes)
+        assert got.tobytes() == data.tobytes()
+
+    def test_fault_events_carry_migration_legs(self):
+        """Injected migration faults are attributable per leg — chaos
+        runs can assert coverage of pre-copy and cutover separately."""
+        from repro.migration import MigrationPolicy
+
+        hypervisor, vm, env, mem, data = self.migration_stack("vm-legs")
+        # kernel writes are invisible to the recorder: they force real
+        # pre-copy payload frames for the plan to fault
+        kernel = env.kernel(env.program(
+            "__kernel void vector_add(__global float* a, __global float* "
+            "b, __global float* c, int n) {}"), "vector_add")
+        outs = [env.buffer(data.nbytes) for _ in range(4)]
+        second = env.buffer(data.nbytes, host=data)
+
+        plan = FaultPlan(seed=SEED, drop=0.4, duplicate=0.4, delay=0.4)
+        hypervisor.fault_plan = plan  # migration channel only
+        policy = MigrationPolicy(max_frame_retries=64)
+        engine = hypervisor.start_live_migration(vm.vm_id, "opencl",
+                                                 policy=policy)
+        engine.precopy_round()
+        for out in outs:
+            env.set_args(kernel, mem, second, out, self.N)
+            env.launch(kernel, [self.N])
+        env.finish()
+        shipped = engine.precopy_round()
+        assert shipped == 4 * data.nbytes
+        report = engine.cutover()
+        assert not report.aborted
+
+        legs = {event.leg for event in plan.events}
+        assert "precopy" in legs
+        assert "cutover" in legs
+        assert all(event.vm_id == vm.vm_id for event in plan.events)
+        assert report.retransmits == engine.channel.retransmits > 0

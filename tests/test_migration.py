@@ -1,16 +1,24 @@
-"""Tests for record/replay VM migration (§4.3)."""
+"""Tests for record/replay VM migration (§4.3) — stop-the-world and live."""
+
+import json
+import os
 
 import numpy as np
 import pytest
 
+from repro.faults.plan import FaultPlan
+from repro.guest.library import RemotingError
+from repro.migration import MigrationAborted, MigrationPolicy
 from repro.migration.recorder import CallRecorder
 from repro.migration.replayer import MigrationError, migrate_worker
 from repro.opencl import types
 from repro.remoting.buffers import OutBox
 from repro.remoting.codec import Command, Reply
+from repro.remoting.xfercache import CachePolicy
 from repro.spec.model import RecordKind
 from repro.stack import make_hypervisor
 from repro.workloads import KMeansWorkload
+from repro.workloads.base import open_env
 
 VECTOR_SRC = (
     "__kernel void vector_add(__global float* a, __global float* b, "
@@ -247,3 +255,392 @@ class TestMVNCMigration:
         new_worker = hv.worker("vm-ncs-d", "mvnc")
         assert graph.value not in new_worker.handles
         assert device.value in new_worker.handles
+
+
+def live_stack(vm_id, n=64, **vm_kwargs):
+    hv = make_hypervisor(apis=("opencl",))
+    vm = hv.create_vm(vm_id, **vm_kwargs)
+    cl = vm.library("opencl")
+    state = build_state(cl, n=n)
+    return hv, vm, cl, state
+
+
+class TestLiveMigration:
+    """Iterative pre-copy + frozen cutover: the live upgrade of §4.3."""
+
+    def test_midstream_write_survives_cutover(self):
+        hv, vm, cl, state = live_stack("vm-live")
+        source = hv.worker("vm-live", "opencl")
+
+        engine = hv.start_live_migration("vm-live", "opencl")
+        engine.precopy_round()
+        # the guest keeps running mid-migration and dirties device state
+        update = np.full(64, 123.0, dtype=np.float32)
+        code = cl.clEnqueueWriteBuffer(state["queue"], state["mem"],
+                                       types.CL_TRUE, 0, 4 * 64, update,
+                                       0, None, None)
+        assert code == types.CL_SUCCESS
+        engine.precopy_round()
+        report = engine.cutover()
+
+        assert not report.aborted
+        assert report.mode == "live"
+        assert report.rounds == 2
+        dest = hv.worker("vm-live", "opencl")
+        assert dest is engine.dest and dest is not source
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+        assert np.allclose(out, update)
+
+    def test_result_identical_to_unmigrated_run(self):
+        def run(migrate):
+            hv, vm, cl, state = live_stack("vm-ab", n=32)
+            engine = None
+            if migrate:
+                engine = hv.start_live_migration("vm-ab", "opencl")
+                engine.precopy_round()
+            update = np.linspace(0.0, 1.0, 32).astype(np.float32)
+            cl.clEnqueueWriteBuffer(state["queue"], state["mem"],
+                                    types.CL_TRUE, 0, 4 * 32, update, 0,
+                                    None, None)
+            if migrate:
+                engine.precopy_round()
+                assert not engine.cutover().aborted
+            out = np.zeros(32, dtype=np.float32)
+            code = cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                          types.CL_TRUE, 0, 4 * 32, out,
+                                          0, None, None)
+            return code, out.tobytes()
+
+        assert run(True) == run(False)
+
+    def test_kernel_writes_ship_by_content_digest(self):
+        """Kernel launches are not recorded (verb-based inference), so
+        only the per-round content-digest scan catches their writes."""
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-kd")
+        cl = vm.library("opencl")
+        env = open_env(cl)
+        n = 256
+        a = np.arange(n, dtype=np.float32)
+        b = np.full(n, 3.0, dtype=np.float32)
+        ma = env.buffer(4 * n, host=a)
+        mb = env.buffer(4 * n, host=b)
+        mc = env.buffer(4 * n)
+        kernel = env.kernel(env.program(VECTOR_SRC), "vector_add")
+        env.set_args(kernel, ma, mb, mc, n)
+
+        engine = hv.start_live_migration("vm-kd", "opencl")
+        assert engine.precopy_round() == 0  # replay staged everything
+        env.launch(kernel, [n])
+        env.finish()
+        # exactly the kernel-dirtied buffer ships, nothing else
+        assert engine.precopy_round() == 4 * n
+        report = engine.cutover()
+        assert not report.aborted
+
+        out = env.read(mc, 4 * n)
+        assert np.allclose(out, a + b)
+
+    def test_handle_ids_preserved_across_cutover(self):
+        hv, vm, cl, state = live_stack("vm-ids")
+        source = hv.worker("vm-ids", "opencl")
+        ids_before = set(source.handles.snapshot_ids())
+        report = hv.live_migrate_vm("vm-ids", "opencl")
+        assert not report.aborted
+        dest = hv.worker("vm-ids", "opencl")
+        assert dest.handles.snapshot_ids() == ids_before
+        # the guest's stashed handle values still work post-cutover
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+
+    def test_downtime_beats_stop_the_world(self):
+        n = 1 << 18  # 1 MiB of device state
+
+        hv_live, _, _, _ = live_stack("vm-big-live", n=n)
+        live = hv_live.live_migrate_vm("vm-big-live", "opencl")
+
+        hv_stw, _, _, _ = live_stack("vm-big-stw", n=n)
+        stw = hv_stw.migrate_vm("vm-big-stw", "opencl")
+
+        assert live.downtime > 0
+        assert live.downtime < live.total_time
+        # the frozen window no longer pays for the bulk state transfer
+        assert live.downtime <= 0.25 * stw.downtime
+        assert live.snapshot_bytes >= 4 * n
+
+    def test_stall_charged_to_first_posthaw_call(self):
+        hv, vm, cl, state = live_stack("vm-stall", n=1 << 16)
+        report = hv.live_migrate_vm("vm-stall", "opencl")
+        assert not report.aborted
+        # the guest clock is behind the cutover point; its next call
+        # absorbs the frozen window as visible router stall
+        out = np.zeros(4, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 16, out, 0,
+                                      None, None) == types.CL_SUCCESS
+        metrics = hv.router.metrics_for("vm-stall")
+        assert metrics.migration_stall > 0
+        assert "vm-stall" not in hv.router.frozen_vms
+
+    def test_destroy_churn_during_migration_is_replayed(self):
+        hv, vm, cl, state = live_stack("vm-churn-live")
+        err = OutBox()
+        temp = cl.clCreateBuffer(state["ctx"], 0, 4096, None, err)
+        engine = hv.start_live_migration("vm-churn-live", "opencl")
+        engine.precopy_round()  # replays the temp's create onto the dest
+        assert temp in engine.dest.handles
+        assert cl.clReleaseMemObject(temp) == 0
+        cl.clFinish(state["queue"])  # drain the async release
+        engine.precopy_round()  # forwards the destroy via the listener
+        assert temp not in engine.dest.handles
+        report = engine.cutover()
+        assert not report.aborted
+        dest = hv.worker("vm-churn-live", "opencl")
+        assert temp not in dest.handles
+        assert state["mem"] in dest.handles
+
+    def test_precopy_elides_store_known_bytes(self):
+        """Dirty contents the per-VM transfer store has already seen
+        cross the migration channel as content-addressed refs."""
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-elide",
+                          cache_policy=CachePolicy(min_bytes=64))
+        cl = vm.library("opencl")
+        env = open_env(cl)
+        n = 256
+        a = np.arange(n, dtype=np.float32)
+        b = np.full(n, 3.0, dtype=np.float32)
+        ma = env.buffer(4 * n, host=a)
+        mb = env.buffer(4 * n, host=b)
+        mc = env.buffer(4 * n)
+        md = env.buffer(4 * n)
+        # seed the store with the bytes the kernel is about to produce
+        env.write(md, (a + b).astype(np.float32))
+        kernel = env.kernel(env.program(VECTOR_SRC), "vector_add")
+        env.set_args(kernel, ma, mb, mc, n)
+
+        engine = hv.start_live_migration("vm-elide", "opencl")
+        engine.precopy_round()
+        env.launch(kernel, [n])
+        env.finish()
+        shipped = engine.precopy_round()
+        assert shipped == 4 * n  # payload accounting is unchanged...
+        # ...but the wire carried a ref instead of the payload
+        assert engine.report.elided_bytes == \
+            4 * n - engine.policy.ref_bytes
+        assert not engine.cutover().aborted
+        assert np.allclose(env.read(mc, 4 * n), a + b)
+
+    def test_admin_report_exposes_migrations(self):
+        hv, vm, cl, state = live_stack("vm-admin")
+        hv.live_migrate_vm("vm-admin", "opencl")
+        report = hv.admin_report()
+        per_vm = report["vm-admin"]["migration"]
+        assert per_vm["count"] == 1
+        assert per_vm["aborted"] == 0
+        assert per_vm["downtime"] > 0
+        totals = report["_migration"]
+        assert totals["count"] == 1
+
+    def test_finished_engine_rejects_further_driving(self):
+        hv, vm, cl, state = live_stack("vm-done")
+        engine = hv.start_live_migration("vm-done", "opencl")
+        engine.precopy_round()
+        engine.cutover()
+        with pytest.raises(MigrationError):
+            engine.precopy_round()
+        with pytest.raises(MigrationError):
+            engine.cutover()
+
+    def test_crashed_source_rejected(self):
+        hv, vm, cl, state = live_stack("vm-dead")
+        hv._on_worker_lost("vm-dead", "opencl", "induced crash")
+        with pytest.raises(MigrationError):
+            hv.start_live_migration("vm-dead", "opencl")
+
+    def test_unknown_vm_rejected(self):
+        hv = make_hypervisor(apis=("opencl",))
+        with pytest.raises(KeyError):
+            hv.start_live_migration("ghost", "opencl")
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_rounds=0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(channel_bps=0)
+        with pytest.raises(ValueError):
+            MigrationPolicy(convergence_bytes=-1)
+        with pytest.raises(ValueError):
+            MigrationPolicy(max_frame_retries=-1)
+
+
+class TestLiveMigrationAbort:
+    """Abort is clean: the source keeps serving, the dest is scrubbed."""
+
+    def test_manual_abort_leaves_source_serving(self):
+        hv, vm, cl, state = live_stack("vm-abort")
+        source = hv.worker("vm-abort", "opencl")
+        engine = hv.start_live_migration("vm-abort", "opencl")
+        engine.precopy_round()
+        report = engine.abort("operator changed their mind")
+        assert report.aborted and engine.aborted
+        assert hv.worker("vm-abort", "opencl") is source
+        assert engine.dest.crashed is not None
+        assert hv.migrations[-1] is report
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+        assert np.allclose(out, state["data"])
+
+    def test_lost_cutover_frame_aborts_cleanly(self):
+        hv, vm, cl, state = live_stack("vm-lost")
+        source = hv.worker("vm-lost", "opencl")
+        # arm the migration channel only (no guest-transport wrapping):
+        # every migration frame drops until the retry budget dies
+        hv.fault_plan = FaultPlan(seed=7, drop=1.0)
+        engine = hv.start_live_migration("vm-lost", "opencl")
+        engine.precopy_round()  # ships nothing; no frames to drop
+        with pytest.raises(MigrationAborted) as excinfo:
+            engine.cutover()
+        assert "cutover" in str(excinfo.value)
+        assert hv.worker("vm-lost", "opencl") is source
+        assert "vm-lost" not in hv.router.frozen_vms
+        assert hv.migrations[-1].aborted
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+        assert np.allclose(out, state["data"])
+
+    def test_dest_crash_during_replay_aborts(self):
+        hv, vm, cl, state = live_stack("vm-crash")
+        source = hv.worker("vm-crash", "opencl")
+        plan = FaultPlan(seed=9, crash_on_call=3)
+        engine = hv.start_live_migration("vm-crash", "opencl")
+        engine.dest.fault_hook = plan.worker_hook()
+        with pytest.raises(MigrationAborted):
+            engine.precopy_round()
+        assert hv.worker("vm-crash", "opencl") is source
+        assert hv.migrations[-1].aborted
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+
+    def test_frozen_vm_rejected_then_thaw_stalls(self):
+        hv, vm, cl, state = live_stack("vm-frozen")
+        hv.router.freeze_vm("vm-frozen", "test freeze")
+        update = np.zeros(64, dtype=np.float32)
+        with pytest.raises(RemotingError):
+            cl.clEnqueueWriteBuffer(state["queue"], state["mem"],
+                                    types.CL_TRUE, 0, 4 * 64, update, 0,
+                                    None, None)
+        metrics = hv.router.metrics_for("vm-frozen")
+        assert metrics.frozen_rejected == 1
+        hv.router.thaw_vm("vm-frozen", resume_at=vm.clock.now + 1.0)
+        assert cl.clEnqueueWriteBuffer(state["queue"], state["mem"],
+                                       types.CL_TRUE, 0, 4 * 64, update,
+                                       0, None, None) == types.CL_SUCCESS
+        assert metrics.migration_stall > 0.9
+
+
+class TestMVNCLiveMigration:
+    """The live protocol is API-agnostic: MVNC graphs move too."""
+
+    def test_graph_survives_live_migration(self):
+        from repro.workloads.inception import build_inception_graph
+        from repro.mvnc import api as mvnc_api
+
+        hv = make_hypervisor(apis=("mvnc",))
+        vm = hv.create_vm("vm-ncs-live")
+        mv = vm.library("mvnc")
+
+        device = OutBox()
+        assert mv.mvncOpenDevice(None, device) == mvnc_api.MVNC_OK
+        blob = build_inception_graph(input_hw=32).serialize()
+        graph = OutBox()
+        assert mv.mvncAllocateGraph(device.value, graph, blob,
+                                    len(blob)) == mvnc_api.MVNC_OK
+
+        old_stick = hv.worker("vm-ncs-live", "mvnc").native_session.devices[0]
+        report = hv.live_migrate_vm("vm-ncs-live", "mvnc")
+        assert not report.aborted and report.mode == "live"
+        new_stick = hv.worker("vm-ncs-live", "mvnc").native_session.devices[0]
+        assert new_stick is not old_stick
+
+        image = np.random.default_rng(5).random(
+            (32, 32, 3)).astype(np.float16)
+        assert mv.mvncLoadTensor(graph.value, image, image.nbytes,
+                                 17) == mvnc_api.MVNC_OK
+        out = np.zeros(10, dtype=np.float16)
+        length, cookie = OutBox(), OutBox()
+        assert mv.mvncGetResult(graph.value, out, out.nbytes, length,
+                                cookie) == mvnc_api.MVNC_OK
+        assert cookie.value == 17
+        assert abs(float(out.sum()) - 1.0) < 0.05
+
+
+class TestMigrationSeedGaps:
+    """Backfill for the seed's stop-the-world path."""
+
+    def test_partial_replay_surfaces_migration_error(self):
+        hv, vm, cl, state = live_stack("vm-tamper")
+        worker = hv.worker("vm-tamper", "opencl")
+        # corrupt one log entry: replay cannot reconstruct the state
+        worker.recorder.log[2].command.function = "clTotallyBogus"
+        with pytest.raises(MigrationError):
+            hv.migrate_vm("vm-tamper", "opencl")
+
+    def test_partial_live_replay_aborts_to_source(self):
+        hv, vm, cl, state = live_stack("vm-tamper-live")
+        source = hv.worker("vm-tamper-live", "opencl")
+        source.recorder.log[2].command.function = "clTotallyBogus"
+        with pytest.raises(MigrationAborted):
+            hv.live_migrate_vm("vm-tamper-live", "opencl")
+        assert hv.worker("vm-tamper-live", "opencl") is source
+        out = np.zeros(64, dtype=np.float32)
+        assert cl.clEnqueueReadBuffer(state["queue"], state["mem"],
+                                      types.CL_TRUE, 0, 4 * 64, out, 0,
+                                      None, None) == types.CL_SUCCESS
+
+    def test_log_stays_minimal_after_destroy_churn(self):
+        hv, vm, cl, state = live_stack("vm-minimal")
+        worker = hv.worker("vm-minimal", "opencl")
+        baseline = len(worker.recorder)
+        live_ids = set(worker.recorder.live_created_ids())
+        err = OutBox()
+        for _ in range(50):
+            temp = cl.clCreateBuffer(state["ctx"], 0, 4096, None, err)
+            cl.clReleaseMemObject(temp)
+        cl.clFinish(state["queue"])
+        assert len(worker.recorder) == baseline
+        assert worker.recorder.pruned_calls >= 50
+        assert worker.recorder.live_created_ids() == live_ids
+
+
+class TestFigure5BitIdentity:
+    def test_no_migration_reproduces_stored_figure5(self):
+        """With the live-migration machinery present but unused, the
+        default stack reproduces BENCH_figure5.json bit for bit."""
+        from repro.harness import run_figure5
+
+        path = os.path.join(os.path.dirname(__file__), os.pardir,
+                            "benchmarks", "BENCH_figure5.json")
+        with open(path, encoding="utf-8") as handle:
+            stored = json.load(handle)
+        rows = run_figure5()
+        got = {
+            row.name: (row.native.runtime, row.virtualized.runtime)
+            for row in rows
+        }
+        want = {
+            row["name"]: (row["native_runtime"], row["virtualized_runtime"])
+            for row in stored["rows"]
+        }
+        assert got == want

@@ -1,0 +1,163 @@
+"""Property-based fidelity: live migration is invisible to the guest.
+
+Random guest programs (create/write/read/release over device buffers)
+run twice — once plain, once with a live migration started at a random
+point mid-stream and cut over before the final reads.  Every
+guest-visible outcome must be identical: per-op results, final buffer
+contents, and the worker's live handle set.
+
+Soak pattern mirrors the transfer-cache property suite: the
+``CAVA_MIG_EXAMPLES`` environment variable scales the example count
+(default 25; CI soaks run hundreds).
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+pytest.importorskip("hypothesis")
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.stack import make_hypervisor
+from repro.workloads.base import open_env
+
+EXAMPLES = int(os.environ.get("CAVA_MIG_EXAMPLES", "25"))
+
+#: words per buffer — small keeps programs fast; fidelity does not care
+BUF_WORDS = 16
+MAX_OPS = 24
+
+
+@st.composite
+def programs(draw):
+    """A random op list plus the index the migration starts at."""
+    ops = draw(st.lists(
+        st.one_of(
+            st.tuples(st.just("create")),
+            st.tuples(st.just("write"), st.integers(0, 7),
+                      st.integers(0, 255)),
+            st.tuples(st.just("read"), st.integers(0, 7)),
+            st.tuples(st.just("release"), st.integers(0, 7)),
+        ),
+        min_size=1, max_size=MAX_OPS,
+    ))
+    cut = draw(st.integers(0, len(ops)))
+    return ops, cut
+
+
+class _Harness:
+    """One guest VM executing the op DSL, collecting visible outcomes."""
+
+    def __init__(self, vm_id):
+        self.hv = make_hypervisor(apis=("opencl",))
+        self.vm = self.hv.create_vm(vm_id)
+        self.vm_id = vm_id
+        self.cl = self.vm.library("opencl")
+        self.env = open_env(self.cl)
+        #: every buffer ever created: [handle, live?]
+        self.bufs = []
+        self.trace = []
+
+    def _pick(self, seed):
+        if not self.bufs:
+            return None
+        index = seed % len(self.bufs)
+        mem, live = self.bufs[index]
+        return (index, mem) if live else None
+
+    def apply(self, op):
+        kind = op[0]
+        if kind == "create":
+            mem = self.env.buffer(4 * BUF_WORDS)
+            self.bufs.append([mem, True])
+            self.trace.append(("created", len(self.bufs) - 1))
+        elif kind == "write":
+            picked = self._pick(op[1])
+            if picked is None:
+                self.trace.append(("skip",))
+                return
+            index, mem = picked
+            data = np.full(BUF_WORDS, float(op[2]), dtype=np.float32)
+            self.env.write(mem, data)
+            self.trace.append(("wrote", index, op[2]))
+        elif kind == "read":
+            picked = self._pick(op[1])
+            if picked is None:
+                self.trace.append(("skip",))
+                return
+            index, mem = picked
+            out = self.env.read(mem, 4 * BUF_WORDS)
+            self.trace.append(("read", index, out.tobytes()))
+        elif kind == "release":
+            picked = self._pick(op[1])
+            if picked is None:
+                self.trace.append(("skip",))
+                return
+            index, mem = picked
+            assert self.cl.clReleaseMemObject(mem) == 0
+            self.cl.clFinish(self.env.queue)
+            self.bufs[index][1] = False
+            self.trace.append(("released", index))
+
+    def finalize(self):
+        final = []
+        for index, (mem, live) in enumerate(self.bufs):
+            if live:
+                final.append(
+                    (index, self.env.read(mem, 4 * BUF_WORDS).tobytes()))
+        worker = self.hv.worker(self.vm_id, "opencl")
+        handles = frozenset(worker.handles.snapshot_ids())
+        return tuple(self.trace), tuple(final), handles
+
+
+def run_program(ops, cut, migrate):
+    harness = _Harness("vm-prop")
+    engine = None
+    for index, op in enumerate(ops):
+        if migrate and index == cut:
+            engine = harness.hv.start_live_migration("vm-prop", "opencl")
+            engine.precopy_round()
+        harness.apply(op)
+    if migrate:
+        if engine is None:  # cut == len(ops)
+            engine = harness.hv.start_live_migration("vm-prop", "opencl")
+            engine.precopy_round()
+        engine.precopy_round()
+        report = engine.cutover()
+        assert not report.aborted
+    return harness.finalize()
+
+
+class TestMigrationInvisible:
+    @settings(max_examples=EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_migrated_run_matches_unmigrated_run(self, program):
+        ops, cut = program
+        plain = run_program(ops, cut, migrate=False)
+        migrated = run_program(ops, cut, migrate=True)
+        assert migrated == plain
+
+    @settings(max_examples=EXAMPLES, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(programs())
+    def test_migration_reports_are_sane(self, program):
+        ops, cut = program
+        harness = _Harness("vm-prop")
+        for op in ops[:cut]:
+            harness.apply(op)
+        engine = harness.hv.start_live_migration("vm-prop", "opencl")
+        engine.precopy_round()
+        for op in ops[cut:]:
+            harness.apply(op)
+        engine.precopy_round()
+        report = engine.cutover()
+        assert not report.aborted
+        assert report.downtime > 0
+        assert report.downtime <= report.total_time
+        assert report.rounds == 2
+        # the destination serves and every live buffer reads back
+        harness.finalize()

@@ -443,3 +443,97 @@ class TestFigure5BitIdentity:
             for row in stored["rows"]
         }
         assert got == want
+
+
+class TestRebalancer:
+    """Elastic pool rebalancing: hot members shed tenants live."""
+
+    def make_hot_pool(self):
+        from repro.stack import make_hypervisor
+        from repro.workloads import BFSWorkload
+
+        hv = make_hypervisor(apis=("opencl",))
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-hot")
+        for vm_id in ("vm-a", "vm-b"):
+            vm = hv.create_vm(vm_id)
+            assert BFSWorkload(scale=0.25).run(
+                vm.library("opencl")).verified
+        # a cold member joins the pool after the load landed
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-cold")
+        return hv
+
+    def test_rebalance_moves_busy_tenant_to_cold_member(self):
+        from repro.hypervisor.pool import PoolRebalancer, RebalancePolicy
+        from repro.workloads import BFSWorkload
+
+        hv = self.make_hot_pool()
+        rebalancer = PoolRebalancer(
+            hv, policy=RebalancePolicy(min_spread=0.05,
+                                       min_hot_utilization=0.01))
+        choice = rebalancer.pick()
+        assert choice is not None
+        victim, hot, cold = choice
+        assert hot.device_id == "dev-hot"
+        assert cold.device_id == "dev-cold"
+        assert victim in ("vm-a", "vm-b")
+
+        reports = rebalancer.rebalance_once()
+        assert reports and all(not r.aborted for r in reports)
+        assert all(r.mode == "live" for r in reports)
+        assert hv.pool.assignments[victim].device_id == "dev-cold"
+        # the moved tenant keeps serving, now on the cold member
+        result = BFSWorkload(scale=0.25).run(
+            hv.vms[victim].library("opencl"))
+        assert result.verified
+
+    def test_idle_pool_left_alone(self):
+        from repro.hypervisor.pool import PoolRebalancer
+        from repro.stack import make_hypervisor
+
+        hv = make_hypervisor(apis=("opencl",))
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-a")
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-b")
+        rebalancer = PoolRebalancer(hv)
+        assert rebalancer.pick() is None
+        assert rebalancer.rebalance_once() == []
+
+    def test_rebalancer_requires_a_pool(self):
+        from repro.hypervisor.pool import PoolRebalancer
+        from repro.stack import make_hypervisor
+
+        hv = make_hypervisor(apis=("opencl",))
+        with pytest.raises(PoolCapacityError):
+            PoolRebalancer(hv)
+
+    def test_policy_validation(self):
+        from repro.hypervisor.pool import RebalancePolicy
+
+        with pytest.raises(ValueError):
+            RebalancePolicy(min_spread=1.5)
+        with pytest.raises(ValueError):
+            RebalancePolicy(min_hot_utilization=-0.1)
+
+    def test_live_migration_honours_explicit_target(self):
+        from repro.migration import MigrationError
+        from repro.stack import make_hypervisor
+        from repro.workloads import BFSWorkload
+
+        hv = make_hypervisor(apis=("opencl",))
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-a")
+        vm = hv.create_vm("vm-t")
+        assert BFSWorkload(scale=0.25).run(vm.library("opencl")).verified
+        hv.add_device(DeviceClass.baseline_gpu(), "dev-b")
+
+        # migrating onto the member the VM already lives on is an error
+        with pytest.raises(MigrationError):
+            hv.start_live_migration("vm-t", "opencl",
+                                    target_device_id="dev-a")
+
+        report = hv.live_migrate_vm("vm-t", "opencl",
+                                    target_device_id="dev-b")
+        assert not report.aborted
+        assert report.target_device == "dev-b"
+        assert hv.pool.assignments["vm-t"].device_id == "dev-b"
+        worker = hv.worker("vm-t", "opencl")
+        assert worker.pool_device.device_id == "dev-b"
+        assert BFSWorkload(scale=0.25).run(vm.library("opencl")).verified

@@ -249,3 +249,78 @@ class TestBitIdentity:
         assert got == want
         assert s.checks["dispatch-order"] > 1000
         assert s.violations == []
+
+
+class TestMigrationHandleInvariant:
+    """Post-cutover handle fidelity: dest table == source table."""
+
+    def test_matching_tables_pass(self):
+        s = armed()
+        s.check_migration_handles("vm", "opencl", {1, 2, 3}, {1, 2, 3})
+        assert s.checks["migration-handles"] == 1
+        assert not s.violations
+
+    def test_dropped_handle_detected(self):
+        s = armed()
+        with pytest.raises(SanitizerError) as excinfo:
+            s.check_migration_handles("vm", "opencl", {1, 2, 3}, {1, 2})
+        assert "handle fidelity" in str(excinfo.value)
+        assert "missing" in str(excinfo.value)
+        assert s.violations
+
+    def test_leaked_handle_detected(self):
+        s = armed()
+        with pytest.raises(SanitizerError) as excinfo:
+            s.check_migration_handles("vm", "opencl", {1, 2}, {1, 2, 9})
+        assert "extra" in str(excinfo.value)
+
+    def test_noop_hook_is_inert(self):
+        NOOP.check_migration_handles("vm", "opencl", {1}, {2})
+
+    def _migrate(self):
+        import numpy as np
+
+        from repro.opencl import types
+        from repro.remoting.buffers import OutBox
+        from repro.stack import make_hypervisor
+
+        hv = make_hypervisor(apis=("opencl",))
+        vm = hv.create_vm("vm-san-mig")
+        cl = vm.library("opencl")
+        plats = [None]
+        cl.clGetPlatformIDs(1, plats, None)
+        devs = [None]
+        cl.clGetDeviceIDs(plats[0], types.CL_DEVICE_TYPE_GPU, 1, devs,
+                          None)
+        err = OutBox()
+        ctx = cl.clCreateContext(None, 1, devs, None, None, err)
+        queue = cl.clCreateCommandQueue(ctx, devs[0], 0, err)
+        data = np.arange(256, dtype=np.float32)
+        mem = cl.clCreateBuffer(ctx, types.CL_MEM_COPY_HOST_PTR,
+                                data.nbytes, data, err)
+        report = hv.live_migrate_vm("vm-san-mig", "opencl")
+        out = np.zeros(256, dtype=np.float32)
+        code = cl.clEnqueueReadBuffer(queue, mem, types.CL_TRUE, 0,
+                                      data.nbytes, out, 0, None, None)
+        assert code == types.CL_SUCCESS
+        assert (out == data).all()
+        return report, vm
+
+    def test_armed_live_migration_passes(self):
+        """A real cutover satisfies the invariant under the armed
+        sanitizer (the CAVA_SANITIZE=1 chaos/CI path)."""
+        s = armed()
+        report, _vm = self._migrate()
+        assert not report.aborted
+        assert s.checks["migration-handles"] >= 1
+        assert not s.violations
+
+    def test_armed_migration_run_is_bit_identical(self):
+        """The armed sanitizer performs no clock operations: a migrated
+        run's virtual-time results match the unsanitized run exactly."""
+        plain_report, plain_vm = self._migrate()
+        armed()
+        armed_report, armed_vm = self._migrate()
+        assert armed_report.downtime == plain_report.downtime
+        assert armed_report.total_time == plain_report.total_time
+        assert armed_vm.clock.now == plain_vm.clock.now
